@@ -1,0 +1,37 @@
+//! # emask-attack — the power-analysis attack suite
+//!
+//! The adversary's half of the evaluation: simple power analysis (SPA) and
+//! differential power analysis (DPA) over per-cycle energy traces, built to
+//! the descriptions in Kocher et al. and Goubin & Patarin that the paper
+//! cites. These attacks are what the secure instructions must defeat —
+//! the tests and benches run them against both unmasked and masked traces
+//! and verify that the key falls out of the former and not the latter.
+//!
+//! * [`stats`] — trace statistics: means, difference-of-means, Welch's
+//!   *t*, and the trace-matrix bookkeeping;
+//! * [`spa`] — round-structure detection: the Figure 6 observation that
+//!   "the energy profile can show what operations are being performed";
+//! * [`dpa`] — the §1 attack: partition a sample of traces by a predicted
+//!   intermediate bit (a round-1 S-box output bit under a 6-bit subkey
+//!   guess) and look for a difference-of-means peak;
+//! * [`cpa`] — correlation power analysis (an extension beyond the paper):
+//!   Pearson correlation against a Hamming-weight leakage model, the
+//!   stronger attack later literature standardized on.
+//!
+//! The attack code is generic over a *trace oracle* — any
+//! `FnMut(u64 plaintext) -> Vec<f64>` — so it runs identically against
+//! the cycle-accurate simulator and against synthetic leakage models used
+//! in unit tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpa;
+pub mod dpa;
+pub mod spa;
+pub mod stats;
+
+pub use cpa::{cpa_recover_subkey, predicted_hamming_weight, CpaConfig, CpaResult};
+pub use dpa::{analyze_bit, collect_traces, recover_subkey, recover_subkey_multibit, selection_bit, DpaConfig, DpaResult};
+pub use spa::{detect_rounds, SpaReport};
+pub use stats::{difference_of_means, mean_trace, welch_t, TraceMatrix};

@@ -1,0 +1,217 @@
+//! Trace statistics: the arithmetic behind DPA.
+
+/// A set of equal-length power traces (one row per encryption run).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceMatrix {
+    rows: Vec<Vec<f64>>,
+    width: usize,
+}
+
+impl TraceMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace length differs from earlier rows — DPA requires
+    /// aligned traces, and the simulator produces perfectly aligned ones.
+    pub fn push(&mut self, trace: Vec<f64>) {
+        if self.rows.is_empty() {
+            self.width = trace.len();
+        } else {
+            assert_eq!(trace.len(), self.width, "misaligned trace");
+        }
+        self.rows.push(trace);
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no traces are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Trace length in cycles.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+}
+
+impl FromIterator<Vec<f64>> for TraceMatrix {
+    fn from_iter<I: IntoIterator<Item = Vec<f64>>>(iter: I) -> Self {
+        let mut m = TraceMatrix::new();
+        for t in iter {
+            m.push(t);
+        }
+        m
+    }
+}
+
+/// Pointwise mean of a set of traces. Empty input gives an empty trace.
+pub fn mean_trace(m: &TraceMatrix) -> Vec<f64> {
+    if m.is_empty() {
+        return Vec::new();
+    }
+    let n = m.len() as f64;
+    let mut acc = vec![0.0; m.width()];
+    for row in m.rows() {
+        for (a, v) in acc.iter_mut().zip(row) {
+            *a += v;
+        }
+    }
+    for a in &mut acc {
+        *a /= n;
+    }
+    acc
+}
+
+/// Pointwise variance (population) of a set of traces.
+pub fn variance_trace(m: &TraceMatrix) -> Vec<f64> {
+    if m.is_empty() {
+        return Vec::new();
+    }
+    let mean = mean_trace(m);
+    let n = m.len() as f64;
+    let mut acc = vec![0.0; m.width()];
+    for row in m.rows() {
+        for ((a, v), mu) in acc.iter_mut().zip(row).zip(&mean) {
+            let d = v - mu;
+            *a += d * d;
+        }
+    }
+    for a in &mut acc {
+        *a /= n;
+    }
+    acc
+}
+
+/// The DPA statistic: pointwise `mean(group1) - mean(group0)`.
+///
+/// Groups of different sizes are fine; an empty group yields zeros (no
+/// evidence either way).
+pub fn difference_of_means(g0: &TraceMatrix, g1: &TraceMatrix) -> Vec<f64> {
+    let width = g0.width().max(g1.width());
+    if g0.is_empty() || g1.is_empty() {
+        return vec![0.0; width];
+    }
+    let m0 = mean_trace(g0);
+    let m1 = mean_trace(g1);
+    m1.iter().zip(&m0).map(|(a, b)| a - b).collect()
+}
+
+/// Pointwise Welch's *t* statistic between two groups — the standard
+/// leakage-assessment test (TVLA-style): |t| ≳ 4.5 flags a leak.
+pub fn welch_t(g0: &TraceMatrix, g1: &TraceMatrix) -> Vec<f64> {
+    if g0.len() < 2 || g1.len() < 2 {
+        return vec![0.0; g0.width().max(g1.width())];
+    }
+    let m0 = mean_trace(g0);
+    let m1 = mean_trace(g1);
+    let v0 = variance_trace(g0);
+    let v1 = variance_trace(g1);
+    let (n0, n1) = (g0.len() as f64, g1.len() as f64);
+    m0.iter()
+        .zip(&m1)
+        .zip(v0.iter().zip(&v1))
+        .map(|((mu0, mu1), (s0, s1))| {
+            let denom = (s0 / n0 + s1 / n1).sqrt();
+            if denom < 1e-15 {
+                0.0
+            } else {
+                (mu1 - mu0) / denom
+            }
+        })
+        .collect()
+}
+
+/// Largest absolute value in a statistic trace, with its index.
+pub fn peak(stat: &[f64]) -> (usize, f64) {
+    stat.iter()
+        .enumerate()
+        .map(|(i, &v)| (i, v.abs()))
+        .fold((0, 0.0), |best, cur| if cur.1 > best.1 { cur } else { best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[f64]]) -> TraceMatrix {
+        rows.iter().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn mean_of_constant_rows() {
+        let mm = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(mean_trace(&mm), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn variance_of_identical_rows_is_zero() {
+        let mm = m(&[&[5.0, 5.0], &[5.0, 5.0]]);
+        assert_eq!(variance_trace(&mm), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn difference_of_means_signs() {
+        let g0 = m(&[&[1.0, 10.0]]);
+        let g1 = m(&[&[3.0, 4.0]]);
+        assert_eq!(difference_of_means(&g0, &g1), vec![2.0, -6.0]);
+    }
+
+    #[test]
+    fn empty_group_gives_zeros() {
+        let g0 = TraceMatrix::new();
+        let g1 = m(&[&[3.0, 4.0]]);
+        assert_eq!(difference_of_means(&g0, &g1), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn welch_t_flags_separated_groups() {
+        let g0 = m(&[&[0.0], &[0.1], &[-0.1], &[0.05]]);
+        let g1 = m(&[&[10.0], &[10.1], &[9.9], &[10.05]]);
+        let t = welch_t(&g0, &g1);
+        assert!(t[0] > 50.0, "t = {}", t[0]);
+    }
+
+    #[test]
+    fn welch_t_near_zero_for_same_distribution() {
+        let g0 = m(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let g1 = m(&[&[2.0], &[3.0], &[1.0], &[4.0]]);
+        let t = welch_t(&g0, &g1);
+        assert!(t[0].abs() < 1.0);
+    }
+
+    #[test]
+    fn welch_t_zero_variance_guard() {
+        let g0 = m(&[&[1.0], &[1.0]]);
+        let g1 = m(&[&[1.0], &[1.0]]);
+        assert_eq!(welch_t(&g0, &g1), vec![0.0]);
+    }
+
+    #[test]
+    fn peak_finds_largest_magnitude() {
+        assert_eq!(peak(&[0.5, -3.0, 2.0]), (1, 3.0));
+        assert_eq!(peak(&[]), (0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_traces_rejected() {
+        let mut mm = TraceMatrix::new();
+        mm.push(vec![1.0, 2.0]);
+        mm.push(vec![1.0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # emask-bench — the evaluation harness
+//!
+//! Code that regenerates every table and figure of the paper's evaluation
+//! (§4.3). The library holds the experiment implementations; the `repro`
+//! binary drives them (`cargo run --release -p emask-bench --bin repro --
+//! all`), and the Criterion benches (`cargo bench`) time the underlying
+//! machinery.
+//!
+//! Experiment ↔ paper mapping:
+//!
+//! | id | paper | function |
+//! |----|-------|----------|
+//! | `fig6` | energy trace of encryption, per-100-cycle buckets, 16 rounds visible | [`experiments::fig6_round_trace`] |
+//! | `fig7`/`fig8` | differential trace, two keys, before masking | [`experiments::key_differential`] |
+//! | `fig9` | differential trace, two keys, after masking (≈0) | [`experiments::key_differential`] |
+//! | `fig10`/`fig11` | differential trace, two plaintexts, before/after | [`experiments::plaintext_differential`] |
+//! | `fig12` | additional energy of masking during the 1st key permutation | [`experiments::masking_overhead_trace`] |
+//! | table (totals) | 46.4 / 52.6 / 63.6 / 83.5 µJ | [`experiments::policy_totals`] |
+//! | XOR unit | 0.3 pJ normal / 0.6 pJ secure | [`experiments::xor_unit`] |
+//! | SPA/DPA | attacks defeated by masking | [`experiments::spa_rounds`], [`experiments::dpa_attack`] |
+//! | ablations | pre-charge, gating, slicing | [`experiments::ablations`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    ablations, coupling_study, cpa_attack, dpa_attack, dpa_sample_sweep, energy_by_class, fig6_round_trace, key_differential, masking_overhead_trace,
+    plaintext_differential, policy_totals, spa_rounds, tvla, xor_unit, AblationReport,
+    ClassEnergy, CouplingReport, CpaOutcome, DpaOutcome, PolicyTotals, SweepPoint, TvlaReport,
+};

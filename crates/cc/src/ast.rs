@@ -1,0 +1,217 @@
+//! The Tiny-C abstract syntax tree.
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unit {
+    /// Global variable/array declarations, in source order.
+    pub globals: Vec<Global>,
+    /// Function definitions, in source order.
+    pub functions: Vec<Function>,
+}
+
+/// A global scalar or array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// `None` for a scalar, `Some(len)` for an array.
+    pub len: Option<u32>,
+    /// Initializer words (empty → zero-initialized).
+    pub init: Vec<u32>,
+    /// Annotated with the `secure` qualifier — a slicing seed.
+    pub secure: bool,
+    /// Declared `const` (read-only tables, e.g. the S-boxes).
+    pub konst: bool,
+    /// 1-based declaration line.
+    pub line: usize,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Parameter names (all `int`).
+    pub params: Vec<String>,
+    /// `true` if declared `int`, `false` if `void`.
+    pub returns_value: bool,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// 1-based definition line.
+    pub line: usize,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration `int x;` or `int x = e;`.
+    Local {
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// Scalar assignment `x = e;`.
+    Assign {
+        /// Target name.
+        name: String,
+        /// Value.
+        value: Expr,
+        /// 1-based line.
+        line: usize,
+    },
+    /// Array-element assignment `a[i] = e;`.
+    AssignIndex {
+        /// Array name.
+        name: String,
+        /// Index expression.
+        index: Expr,
+        /// Value.
+        value: Expr,
+        /// 1-based line.
+        line: usize,
+    },
+    /// `if (cond) { .. } else { .. }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { .. }` — desugared pieces kept separate.
+    For {
+        /// Optional init statement.
+        init: Option<Box<Stmt>>,
+        /// Optional condition (absent → infinite loop).
+        cond: Option<Expr>,
+        /// Optional step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `break;` — exits the innermost loop.
+    Break {
+        /// 1-based line.
+        line: usize,
+    },
+    /// `continue;` — jumps to the innermost loop's next iteration.
+    Continue {
+        /// 1-based line.
+        line: usize,
+    },
+    /// `return;` or `return e;`.
+    Return {
+        /// Optional value.
+        value: Option<Expr>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// An expression statement (function call for effect).
+    Expr(Expr),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // operator names mirror the source tokens
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+    LogNot,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal (raw 32-bit pattern).
+    Int(u32),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element `a[i]`.
+    Index {
+        /// Array name.
+        name: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a binary node.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_builder_nests() {
+        let e = Expr::binary(BinOp::Add, Expr::Int(1), Expr::binary(BinOp::Mul, Expr::Int(2), Expr::Int(3)));
+        match e {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            _ => panic!("wrong shape"),
+        }
+    }
+}

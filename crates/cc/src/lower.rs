@@ -1,0 +1,369 @@
+//! Lowering from the AST to three-address IR.
+
+use crate::ast::{BinOp, Expr, Function, Stmt, UnOp, Unit};
+use crate::ir::{BinKind, FuncIr, Inst, Label, Operand, Temp};
+use crate::sema::UnitInfo;
+use std::collections::HashMap;
+
+/// Lowers every function of a checked unit.
+pub fn lower_unit(unit: &Unit, info: &UnitInfo) -> Vec<FuncIr> {
+    unit.functions.iter().map(|f| Lowerer::new(info).lower(f)).collect()
+}
+
+struct Lowerer<'a> {
+    info: &'a UnitInfo,
+    body: Vec<Inst>,
+    temps: u32,
+    labels: u32,
+    vars: HashMap<String, Temp>,
+    /// Innermost-last stack of `(continue target, break target)`.
+    loops: Vec<(Label, Label)>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(info: &'a UnitInfo) -> Self {
+        Self { info, body: Vec::new(), temps: 0, labels: 0, vars: HashMap::new(), loops: Vec::new() }
+    }
+
+    fn temp(&mut self) -> Temp {
+        let t = Temp(self.temps);
+        self.temps += 1;
+        t
+    }
+
+    fn label(&mut self) -> Label {
+        let l = Label(self.labels);
+        self.labels += 1;
+        l
+    }
+
+    fn emit(&mut self, i: Inst) {
+        self.body.push(i);
+    }
+
+    fn lower(mut self, f: &Function) -> FuncIr {
+        let params: Vec<Temp> = f
+            .params
+            .iter()
+            .map(|p| {
+                let t = self.temp();
+                self.vars.insert(p.clone(), t);
+                t
+            })
+            .collect();
+        self.stmts(&f.body);
+        // Guarantee a terminator: fall-off returns 0 (int) / nothing (void).
+        let needs_ret = !matches!(self.body.last(), Some(Inst::Ret { .. }));
+        if needs_ret {
+            if f.returns_value {
+                self.emit(Inst::Ret { value: Some(Operand::Const(0)) });
+            } else {
+                self.emit(Inst::Ret { value: None });
+            }
+        }
+        FuncIr {
+            name: f.name.clone(),
+            params,
+            returns_value: f.returns_value,
+            body: self.body,
+            temp_count: self.temps,
+            label_count: self.labels,
+        }
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Local { name, init, .. } => {
+                let t = self.temp();
+                self.vars.insert(name.clone(), t);
+                let value = match init {
+                    Some(e) => self.expr(e),
+                    None => Operand::Const(0),
+                };
+                self.emit(Inst::Copy { dst: t, src: value });
+            }
+            Stmt::Assign { name, value, .. } => {
+                let v = self.expr(value);
+                if let Some(&t) = self.vars.get(name) {
+                    self.emit(Inst::Copy { dst: t, src: v });
+                } else {
+                    self.emit(Inst::StoreGlobal { name: name.clone(), src: v });
+                }
+            }
+            Stmt::AssignIndex { name, index, value, .. } => {
+                let i = self.expr(index);
+                let v = self.expr(value);
+                self.emit(Inst::StoreElem { array: name.clone(), index: i, src: v });
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let else_l = self.label();
+                let end_l = self.label();
+                let c = self.expr(cond);
+                self.emit(Inst::Branch { cond: c, if_true: false, target: else_l });
+                self.stmts(then_body);
+                self.emit(Inst::Jump { target: end_l });
+                self.emit(Inst::Label(else_l));
+                self.stmts(else_body);
+                self.emit(Inst::Label(end_l));
+            }
+            Stmt::While { cond, body } => {
+                let head = self.label();
+                let end = self.label();
+                self.emit(Inst::Label(head));
+                let c = self.expr(cond);
+                self.emit(Inst::Branch { cond: c, if_true: false, target: end });
+                self.loops.push((head, end));
+                self.stmts(body);
+                self.loops.pop();
+                self.emit(Inst::Jump { target: head });
+                self.emit(Inst::Label(end));
+            }
+            Stmt::For { init, cond, step, body } => {
+                if let Some(s) = init {
+                    self.stmt(s);
+                }
+                let head = self.label();
+                let step_l = self.label();
+                let end = self.label();
+                self.emit(Inst::Label(head));
+                if let Some(c) = cond {
+                    let cv = self.expr(c);
+                    self.emit(Inst::Branch { cond: cv, if_true: false, target: end });
+                }
+                // `continue` targets the step, not the condition.
+                self.loops.push((step_l, end));
+                self.stmts(body);
+                self.loops.pop();
+                self.emit(Inst::Label(step_l));
+                if let Some(s) = step {
+                    self.stmt(s);
+                }
+                self.emit(Inst::Jump { target: head });
+                self.emit(Inst::Label(end));
+            }
+            Stmt::Break { .. } => {
+                let (_, end) = *self.loops.last().expect("sema guarantees loop context");
+                self.emit(Inst::Jump { target: end });
+            }
+            Stmt::Continue { .. } => {
+                let (next, _) = *self.loops.last().expect("sema guarantees loop context");
+                self.emit(Inst::Jump { target: next });
+            }
+            Stmt::Return { value, .. } => {
+                let v = value.as_ref().map(|e| self.expr(e));
+                self.emit(Inst::Ret { value: v });
+            }
+            Stmt::Expr(e) => {
+                self.expr(e);
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Operand {
+        match e {
+            Expr::Int(v) => Operand::Const(*v),
+            Expr::Var(name) => {
+                if let Some(&t) = self.vars.get(name) {
+                    Operand::Temp(t)
+                } else {
+                    let dst = self.temp();
+                    self.emit(Inst::LoadGlobal { dst, name: name.clone() });
+                    Operand::Temp(dst)
+                }
+            }
+            Expr::Index { name, index } => {
+                let i = self.expr(index);
+                let dst = self.temp();
+                self.emit(Inst::LoadElem { dst, array: name.clone(), index: i });
+                Operand::Temp(dst)
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.expr(operand);
+                let dst = self.temp();
+                let inst = match op {
+                    UnOp::Neg => {
+                        Inst::Bin { op: BinKind::Sub, dst, lhs: Operand::Const(0), rhs: v }
+                    }
+                    UnOp::Not => {
+                        Inst::Bin { op: BinKind::Xor, dst, lhs: v, rhs: Operand::Const(u32::MAX) }
+                    }
+                    UnOp::LogNot => {
+                        Inst::Bin { op: BinKind::SetEq, dst, lhs: v, rhs: Operand::Const(0) }
+                    }
+                };
+                self.emit(inst);
+                Operand::Temp(dst)
+            }
+            Expr::Binary { op: BinOp::LogAnd, lhs, rhs } => self.short_circuit(lhs, rhs, true),
+            Expr::Binary { op: BinOp::LogOr, lhs, rhs } => self.short_circuit(lhs, rhs, false),
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.expr(lhs);
+                let r = self.expr(rhs);
+                let dst = self.temp();
+                self.emit(Inst::Bin { op: bin_kind(*op), dst, lhs: l, rhs: r });
+                Operand::Temp(dst)
+            }
+            Expr::Call { name, args } if name == "declassify" => {
+                let src = self.expr(&args[0]);
+                let dst = self.temp();
+                self.emit(Inst::Declassify { dst, src });
+                Operand::Temp(dst)
+            }
+            Expr::Call { name, args } => {
+                let ops: Vec<Operand> = args.iter().map(|a| self.expr(a)).collect();
+                let returns = self.info.functions.get(name).map(|s| s.returns_value);
+                let dst = if returns == Some(false) { None } else { Some(self.temp()) };
+                self.emit(Inst::Call { dst, func: name.clone(), args: ops });
+                match dst {
+                    Some(t) => Operand::Temp(t),
+                    None => Operand::Const(0),
+                }
+            }
+        }
+    }
+
+    /// `a && b` / `a || b` with C short-circuit semantics, producing 0/1.
+    fn short_circuit(&mut self, lhs: &Expr, rhs: &Expr, is_and: bool) -> Operand {
+        let result = self.temp();
+        let skip = self.label();
+        let l = self.expr(lhs);
+        // Normalize lhs to 0/1 into result.
+        self.emit(Inst::Bin { op: BinKind::SetNe, dst: result, lhs: l, rhs: Operand::Const(0) });
+        // AND: if lhs == 0 the answer is 0, skip rhs.
+        // OR: if lhs != 0 the answer is 1, skip rhs.
+        self.emit(Inst::Branch {
+            cond: Operand::Temp(result),
+            if_true: !is_and,
+            target: skip,
+        });
+        let r = self.expr(rhs);
+        self.emit(Inst::Bin { op: BinKind::SetNe, dst: result, lhs: r, rhs: Operand::Const(0) });
+        self.emit(Inst::Label(skip));
+        Operand::Temp(result)
+    }
+}
+
+fn bin_kind(op: BinOp) -> BinKind {
+    match op {
+        BinOp::Add => BinKind::Add,
+        BinOp::Sub => BinKind::Sub,
+        BinOp::Mul => BinKind::Mul,
+        BinOp::Div => BinKind::Div,
+        BinOp::Rem => BinKind::Rem,
+        BinOp::And => BinKind::And,
+        BinOp::Or => BinKind::Or,
+        BinOp::Xor => BinKind::Xor,
+        BinOp::Shl => BinKind::Shl,
+        BinOp::Shr => BinKind::Shr,
+        BinOp::Eq => BinKind::SetEq,
+        BinOp::Ne => BinKind::SetNe,
+        BinOp::Lt => BinKind::SetLt,
+        BinOp::Le => BinKind::SetLe,
+        BinOp::Gt => BinKind::SetGt,
+        BinOp::Ge => BinKind::SetGe,
+        BinOp::LogAnd | BinOp::LogOr => unreachable!("lowered via short_circuit"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::check;
+
+    fn lower_src(src: &str) -> Vec<FuncIr> {
+        let unit = parse(src).expect("parse");
+        let info = check(&unit).expect("sema");
+        lower_unit(&unit, &info)
+    }
+
+    #[test]
+    fn simple_return_lowered() {
+        let fns = lower_src("int main() { return 1 + 2; }");
+        let main = &fns[0];
+        assert!(main.body.iter().any(|i| matches!(i, Inst::Bin { op: BinKind::Add, .. })));
+        assert!(matches!(main.body.last(), Some(Inst::Ret { value: Some(_) })));
+    }
+
+    #[test]
+    fn locals_become_temps() {
+        let fns = lower_src("int main() { int x = 3; int y = x; return y; }");
+        // No loads/stores: locals are pure temps.
+        assert!(!fns[0]
+            .body
+            .iter()
+            .any(|i| matches!(i, Inst::LoadGlobal { .. } | Inst::StoreGlobal { .. })));
+    }
+
+    #[test]
+    fn globals_become_memory_ops() {
+        let fns = lower_src("int g; int main() { g = 4; return g; }");
+        assert!(fns[0].body.iter().any(|i| matches!(i, Inst::StoreGlobal { .. })));
+        assert!(fns[0].body.iter().any(|i| matches!(i, Inst::LoadGlobal { .. })));
+    }
+
+    #[test]
+    fn array_ops_lowered() {
+        let fns = lower_src("int a[4]; int main() { a[1] = 9; return a[1]; }");
+        assert!(fns[0].body.iter().any(|i| matches!(i, Inst::StoreElem { .. })));
+        assert!(fns[0].body.iter().any(|i| matches!(i, Inst::LoadElem { .. })));
+    }
+
+    #[test]
+    fn fall_off_returns_zero() {
+        let fns = lower_src("int main() { int x = 1; }");
+        assert!(matches!(fns[0].body.last(), Some(Inst::Ret { value: Some(Operand::Const(0)) })));
+    }
+
+    #[test]
+    fn while_produces_loop_shape() {
+        let fns = lower_src("int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }");
+        let labels = fns[0].body.iter().filter(|i| matches!(i, Inst::Label(_))).count();
+        let jumps = fns[0].body.iter().filter(|i| matches!(i, Inst::Jump { .. })).count();
+        let branches = fns[0].body.iter().filter(|i| matches!(i, Inst::Branch { .. })).count();
+        assert_eq!((labels, jumps, branches), (2, 1, 1));
+    }
+
+    #[test]
+    fn short_circuit_and_emits_branch() {
+        let fns = lower_src("int main() { int a = 1; int b = 0; return a && b; }");
+        assert!(fns[0].body.iter().any(|i| matches!(i, Inst::Branch { if_true: false, .. })));
+    }
+
+    #[test]
+    fn short_circuit_or_emits_branch() {
+        let fns = lower_src("int main() { int a = 1; int b = 0; return a || b; }");
+        assert!(fns[0].body.iter().any(|i| matches!(i, Inst::Branch { if_true: true, .. })));
+    }
+
+    #[test]
+    fn void_call_has_no_dst() {
+        let fns = lower_src("void f() { } int main() { f(); return 0; }");
+        let main = fns.iter().find(|f| f.name == "main").unwrap();
+        assert!(main.body.iter().any(|i| matches!(i, Inst::Call { dst: None, .. })));
+    }
+
+    #[test]
+    fn params_are_leading_temps() {
+        let fns = lower_src("int f(int a, int b) { return a + b; } int main() { return f(1,2); }");
+        let f = fns.iter().find(|f| f.name == "f").unwrap();
+        assert_eq!(f.params, vec![Temp(0), Temp(1)]);
+    }
+
+    #[test]
+    fn unary_ops_lower_to_bin() {
+        let fns = lower_src("int main() { int x = 5; return -x + ~x + !x; }");
+        let subs = fns[0]
+            .body
+            .iter()
+            .filter(|i| matches!(i, Inst::Bin { op: BinKind::Sub, lhs: Operand::Const(0), .. }))
+            .count();
+        assert_eq!(subs, 1);
+    }
+}

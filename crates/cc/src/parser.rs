@@ -1,0 +1,595 @@
+//! The recursive-descent Tiny-C parser.
+
+use crate::ast::{BinOp, Expr, Function, Global, Stmt, UnOp, Unit};
+use crate::lexer::{lex, LexError, Tok, Token};
+use std::fmt;
+
+/// A parse error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Parses a Tiny-C translation unit.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on lexical or syntactic errors.
+pub fn parse(source: &str) -> Result<Unit, ParseError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{want}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { line: self.line(), message }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn int_literal(&mut self) -> Result<u32, ParseError> {
+        // Allow a leading minus in constant positions.
+        let neg = if *self.peek() == Tok::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(if neg { (v as i32).wrapping_neg() as u32 } else { v })
+            }
+            other => Err(self.err(format!("expected integer literal, found `{other}`"))),
+        }
+    }
+
+    fn unit(mut self) -> Result<Unit, ParseError> {
+        let mut globals = Vec::new();
+        let mut functions = Vec::new();
+        while *self.peek() != Tok::Eof {
+            let secure = if *self.peek() == Tok::KwSecure {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let konst = if *self.peek() == Tok::KwConst {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let returns_value = match self.peek() {
+                Tok::KwInt => true,
+                Tok::KwVoid if !secure && !konst => false,
+                other => {
+                    return Err(self.err(format!("expected `int` or `void`, found `{other}`")))
+                }
+            };
+            self.bump();
+            let line = self.line();
+            let name = self.ident()?;
+            if *self.peek() == Tok::LParen {
+                if secure || konst {
+                    return Err(self.err("functions cannot be `secure` or `const`".into()));
+                }
+                functions.push(self.function(name, returns_value, line)?);
+            } else {
+                globals.push(self.global(name, secure, konst, line)?);
+            }
+        }
+        Ok(Unit { globals, functions })
+    }
+
+    fn global(
+        &mut self,
+        name: String,
+        secure: bool,
+        konst: bool,
+        line: usize,
+    ) -> Result<Global, ParseError> {
+        let len = if *self.peek() == Tok::LBracket {
+            self.bump();
+            let n = self.int_literal()?;
+            if n == 0 {
+                return Err(self.err("zero-length array".into()));
+            }
+            self.eat(&Tok::RBracket)?;
+            Some(n)
+        } else {
+            None
+        };
+        let mut init = Vec::new();
+        if *self.peek() == Tok::Assign {
+            self.bump();
+            if *self.peek() == Tok::LBrace {
+                self.bump();
+                loop {
+                    init.push(self.int_literal()?);
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.eat(&Tok::RBrace)?;
+            } else {
+                init.push(self.int_literal()?);
+            }
+        }
+        match len {
+            Some(n) if init.len() > n as usize => {
+                return Err(self.err(format!(
+                    "{} initializers for array of {n}",
+                    init.len()
+                )))
+            }
+            None if init.len() > 1 => {
+                return Err(self.err("brace initializer on a scalar".into()))
+            }
+            _ => {}
+        }
+        self.eat(&Tok::Semi)?;
+        Ok(Global { name, len, init, secure, konst, line })
+    }
+
+    fn function(
+        &mut self,
+        name: String,
+        returns_value: bool,
+        line: usize,
+    ) -> Result<Function, ParseError> {
+        self.eat(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                if *self.peek() == Tok::KwVoid && params.is_empty() && *self.peek2() == Tok::RParen
+                {
+                    self.bump();
+                    break;
+                }
+                self.eat(&Tok::KwInt)?;
+                params.push(self.ident()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Function { name, params, returns_value, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("unexpected end of input in block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if *self.peek() == Tok::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::KwInt => {
+                self.bump();
+                let name = self.ident()?;
+                let init = if *self.peek() == Tok::Assign {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Local { name, init, line })
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                let then_body = self.block_or_single()?;
+                let else_body = if *self.peek() == Tok::KwElse {
+                    self.bump();
+                    self.block_or_single()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let init = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.eat(&Tok::Semi)?;
+                let cond = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                self.eat(&Tok::Semi)?;
+                let step = if *self.peek() == Tok::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.eat(&Tok::RParen)?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Break { line })
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Continue { line })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Return { value, line })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.eat(&Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// An assignment or expression statement, *without* the trailing `;`
+    /// (shared by `for` headers and plain statements).
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        if let Tok::Ident(name) = self.peek().clone() {
+            match self.peek2().clone() {
+                Tok::Assign => {
+                    self.bump();
+                    self.bump();
+                    let value = self.expr()?;
+                    return Ok(Stmt::Assign { name, value, line });
+                }
+                Tok::LBracket => {
+                    // Could be `a[i] = e` or an expression starting with an
+                    // index. Parse the index, then decide.
+                    let save = self.pos;
+                    self.bump();
+                    self.bump();
+                    let index = self.expr()?;
+                    self.eat(&Tok::RBracket)?;
+                    if *self.peek() == Tok::Assign {
+                        self.bump();
+                        let value = self.expr()?;
+                        return Ok(Stmt::AssignIndex { name, index, value, line });
+                    }
+                    self.pos = save;
+                }
+                _ => {}
+            }
+        }
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        while let Some((op, prec)) = binop_of(self.peek()) {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            Tok::Minus => Some(UnOp::Neg),
+            Tok::Tilde => Some(UnOp::Not),
+            Tok::Bang => Some(UnOp::LogNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary_expr()?;
+            return Ok(Expr::Unary { op, operand: Box::new(operand) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    Tok::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.eat(&Tok::RBracket)?;
+                        Ok(Expr::Index { name, index: Box::new(index) })
+                    }
+                    Tok::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if *self.peek() != Tok::RParen {
+                            loop {
+                                args.push(self.expr()?);
+                                if *self.peek() == Tok::Comma {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.eat(&Tok::RParen)?;
+                        Ok(Expr::Call { name, args })
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => Err(self.err(format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+/// Operator → (BinOp, precedence); higher binds tighter.
+fn binop_of(t: &Tok) -> Option<(BinOp, u8)> {
+    Some(match t {
+        Tok::OrOr => (BinOp::LogOr, 1),
+        Tok::AndAnd => (BinOp::LogAnd, 2),
+        Tok::Pipe => (BinOp::Or, 3),
+        Tok::Caret => (BinOp::Xor, 4),
+        Tok::Amp => (BinOp::And, 5),
+        Tok::Eq => (BinOp::Eq, 6),
+        Tok::Ne => (BinOp::Ne, 6),
+        Tok::Lt => (BinOp::Lt, 7),
+        Tok::Gt => (BinOp::Gt, 7),
+        Tok::Le => (BinOp::Le, 7),
+        Tok::Ge => (BinOp::Ge, 7),
+        Tok::Shl => (BinOp::Shl, 8),
+        Tok::Shr => (BinOp::Shr, 8),
+        Tok::Plus => (BinOp::Add, 9),
+        Tok::Minus => (BinOp::Sub, 9),
+        Tok::Star => (BinOp::Mul, 10),
+        Tok::Slash => (BinOp::Div, 10),
+        Tok::Percent => (BinOp::Rem, 10),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals() {
+        let u = parse("secure int key[64]; const int tbl[2] = {3, 4}; int x = 5;").unwrap();
+        assert_eq!(u.globals.len(), 3);
+        assert!(u.globals[0].secure);
+        assert_eq!(u.globals[0].len, Some(64));
+        assert!(u.globals[1].konst);
+        assert_eq!(u.globals[1].init, vec![3, 4]);
+        assert_eq!(u.globals[2].init, vec![5]);
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let u = parse("int add(int a, int b) { return a + b; }").unwrap();
+        assert_eq!(u.functions[0].params, vec!["a", "b"]);
+        assert!(u.functions[0].returns_value);
+    }
+
+    #[test]
+    fn parses_void_function() {
+        let u = parse("void f() { return; }").unwrap();
+        assert!(!u.functions[0].returns_value);
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let u = parse("int f() { return 1 + 2 * 3 ^ 4; }").unwrap();
+        // ^ binds loosest: (1 + (2*3)) ^ 4.
+        let Stmt::Return { value: Some(e), .. } = &u.functions[0].body[0] else {
+            panic!()
+        };
+        let Expr::Binary { op: BinOp::Xor, lhs, .. } = e else { panic!("got {e:?}") };
+        assert!(matches!(**lhs, Expr::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn shift_binds_tighter_than_compare() {
+        let u = parse("int f() { return 1 << 2 < 3; }").unwrap();
+        let Stmt::Return { value: Some(Expr::Binary { op: BinOp::Lt, .. }), .. } =
+            &u.functions[0].body[0]
+        else {
+            panic!()
+        };
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            int main() {
+                int i;
+                int s = 0;
+                for (i = 0; i < 10; i = i + 1) {
+                    if (i % 2 == 0) { s = s + i; } else { s = s - 1; }
+                }
+                while (s > 100) { s = s - 100; }
+                return s;
+            }
+        "#;
+        let u = parse(src).unwrap();
+        assert_eq!(u.functions[0].body.len(), 5);
+    }
+
+    #[test]
+    fn parses_array_assignment_and_index() {
+        let u = parse("int a[4]; int main() { a[1] = a[0] ^ 1; return a[1]; }").unwrap();
+        let Stmt::AssignIndex { name, .. } = &u.functions[0].body[0] else { panic!() };
+        assert_eq!(name, "a");
+    }
+
+    #[test]
+    fn parses_calls() {
+        let u = parse("int g(int x) { return x; } int main() { return g(1) + g(2); }").unwrap();
+        assert_eq!(u.functions.len(), 2);
+    }
+
+    #[test]
+    fn negative_initializers() {
+        let u = parse("int a = -5; int b[2] = {-1, -2};").unwrap();
+        assert_eq!(u.globals[0].init, vec![(-5i32) as u32]);
+        assert_eq!(u.globals[1].init, vec![u32::MAX, (-2i32) as u32]);
+    }
+
+    #[test]
+    fn unary_chains() {
+        let u = parse("int f() { return -~!0; }").unwrap();
+        let Stmt::Return { value: Some(Expr::Unary { op: UnOp::Neg, .. }), .. } =
+            &u.functions[0].body[0]
+        else {
+            panic!()
+        };
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse("int f() {\n return 1 +; \n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_secure_function() {
+        let e = parse("secure int f() { return 0; }").unwrap_err();
+        assert!(e.message.contains("secure"));
+    }
+
+    #[test]
+    fn rejects_too_many_initializers() {
+        let e = parse("int a[2] = {1, 2, 3};").unwrap_err();
+        assert!(e.message.contains("initializers"));
+    }
+
+    #[test]
+    fn rejects_zero_length_array() {
+        assert!(parse("int a[0];").is_err());
+    }
+
+    #[test]
+    fn single_statement_bodies() {
+        let u = parse("int f(int x) { if (x) return 1; else return 2; }").unwrap();
+        let Stmt::If { then_body, else_body, .. } = &u.functions[0].body[0] else { panic!() };
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn for_with_empty_sections() {
+        let u = parse("int f() { for (;;) { return 1; } }").unwrap();
+        let Stmt::For { init, cond, step, .. } = &u.functions[0].body[0] else { panic!() };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+}

@@ -1,0 +1,373 @@
+//! Semantic analysis: symbol resolution and shape/arity checking.
+//!
+//! Tiny-C has a single value type (`int`), so "type checking" reduces to
+//! enforcing the shape rules: scalars are not indexed, arrays are not used
+//! as scalars, `const` data is never written, calls match arity, and every
+//! `int` function returns a value on the paths we can see.
+
+use crate::ast::{Expr, Function, Stmt, Unit};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A semantic error with the offending line where known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError {
+    /// 1-based line, or 0 when the construct spans lines.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// Resolved information about a global.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalInfo {
+    /// `None` for scalars, `Some(len)` for arrays.
+    pub len: Option<u32>,
+    /// Secure (slicing seed).
+    pub secure: bool,
+    /// Read-only.
+    pub konst: bool,
+}
+
+/// Resolved information about a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncInfo {
+    /// Parameter count.
+    pub arity: usize,
+    /// Whether it returns a value.
+    pub returns_value: bool,
+}
+
+/// The checked symbol tables of a unit.
+#[derive(Debug, Clone, Default)]
+pub struct UnitInfo {
+    /// Global name → info.
+    pub globals: HashMap<String, GlobalInfo>,
+    /// Function name → signature.
+    pub functions: HashMap<String, FuncInfo>,
+}
+
+/// Checks a parsed unit and builds its symbol tables.
+///
+/// # Errors
+///
+/// Returns the first [`SemaError`] found.
+pub fn check(unit: &Unit) -> Result<UnitInfo, SemaError> {
+    let mut info = UnitInfo::default();
+    for g in &unit.globals {
+        if info.globals.contains_key(&g.name) {
+            return Err(err(g.line, format!("duplicate global `{}`", g.name)));
+        }
+        if g.secure && g.konst {
+            return Err(err(
+                g.line,
+                format!("`{}`: const data is public by definition; `secure const` is contradictory", g.name),
+            ));
+        }
+        info.globals.insert(
+            g.name.clone(),
+            GlobalInfo { len: g.len, secure: g.secure, konst: g.konst },
+        );
+    }
+    for f in &unit.functions {
+        if f.name == "declassify" {
+            return Err(err(f.line, "`declassify` is a built-in and cannot be redefined".into()));
+        }
+        if info.functions.contains_key(&f.name) {
+            return Err(err(f.line, format!("duplicate function `{}`", f.name)));
+        }
+        if info.globals.contains_key(&f.name) {
+            return Err(err(f.line, format!("`{}` is both a global and a function", f.name)));
+        }
+        if f.params.len() > 4 {
+            return Err(err(
+                f.line,
+                format!("`{}` has {} parameters; at most 4 are supported", f.name, f.params.len()),
+            ));
+        }
+        let unique: HashSet<&String> = f.params.iter().collect();
+        if unique.len() != f.params.len() {
+            return Err(err(f.line, format!("duplicate parameter in `{}`", f.name)));
+        }
+        info.functions
+            .insert(f.name.clone(), FuncInfo { arity: f.params.len(), returns_value: f.returns_value });
+    }
+    if !info.functions.contains_key("main") {
+        return Err(err(0, "no `main` function".into()));
+    }
+    for f in &unit.functions {
+        check_function(f, &info)?;
+    }
+    Ok(info)
+}
+
+fn check_function(f: &Function, info: &UnitInfo) -> Result<(), SemaError> {
+    let mut scope: HashSet<String> = f.params.iter().cloned().collect();
+    check_body(&f.body, f, info, &mut scope, 0)?;
+    Ok(())
+}
+
+fn check_body(
+    body: &[Stmt],
+    f: &Function,
+    info: &UnitInfo,
+    scope: &mut HashSet<String>,
+    loop_depth: usize,
+) -> Result<(), SemaError> {
+    for stmt in body {
+        match stmt {
+            Stmt::Local { name, init, line } => {
+                if scope.contains(name) {
+                    return Err(err(*line, format!("redeclaration of `{name}`")));
+                }
+                if let Some(e) = init {
+                    check_expr(e, info, scope, *line)?;
+                }
+                scope.insert(name.clone());
+            }
+            Stmt::Assign { name, value, line } => {
+                check_expr(value, info, scope, *line)?;
+                if scope.contains(name) {
+                    continue;
+                }
+                match info.globals.get(name) {
+                    Some(g) if g.len.is_some() => {
+                        return Err(err(*line, format!("array `{name}` assigned as a scalar")))
+                    }
+                    Some(g) if g.konst => {
+                        return Err(err(*line, format!("write to const `{name}`")))
+                    }
+                    Some(_) => {}
+                    None => return Err(err(*line, format!("undefined variable `{name}`"))),
+                }
+            }
+            Stmt::AssignIndex { name, index, value, line } => {
+                check_expr(index, info, scope, *line)?;
+                check_expr(value, info, scope, *line)?;
+                match info.globals.get(name) {
+                    Some(g) if g.len.is_none() => {
+                        return Err(err(*line, format!("scalar `{name}` indexed")))
+                    }
+                    Some(g) if g.konst => {
+                        return Err(err(*line, format!("write to const array `{name}`")))
+                    }
+                    Some(_) => {}
+                    None if scope.contains(name) => {
+                        return Err(err(*line, format!("local `{name}` indexed (locals are scalars)")))
+                    }
+                    None => return Err(err(*line, format!("undefined array `{name}`"))),
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                check_expr(cond, info, scope, 0)?;
+                // Locals declared inside a branch stay visible after it in
+                // Tiny-C (one flat function scope), so keep using `scope`.
+                check_body(then_body, f, info, scope, loop_depth)?;
+                check_body(else_body, f, info, scope, loop_depth)?;
+            }
+            Stmt::While { cond, body } => {
+                check_expr(cond, info, scope, 0)?;
+                check_body(body, f, info, scope, loop_depth + 1)?;
+            }
+            Stmt::For { init, cond, step, body } => {
+                if let Some(s) = init {
+                    check_body(std::slice::from_ref(&**s), f, info, scope, loop_depth)?;
+                }
+                if let Some(c) = cond {
+                    check_expr(c, info, scope, 0)?;
+                }
+                check_body(body, f, info, scope, loop_depth + 1)?;
+                if let Some(s) = step {
+                    check_body(std::slice::from_ref(&**s), f, info, scope, loop_depth)?;
+                }
+            }
+            Stmt::Break { line } | Stmt::Continue { line } if loop_depth == 0 => {
+                return Err(err(*line, "`break`/`continue` outside a loop".into()));
+            }
+            Stmt::Break { .. } | Stmt::Continue { .. } => {}
+            Stmt::Return { value, line } => {
+                match (value, f.returns_value) {
+                    (Some(e), true) => check_expr(e, info, scope, *line)?,
+                    (None, false) => {}
+                    (Some(_), false) => {
+                        return Err(err(*line, format!("void `{}` returns a value", f.name)))
+                    }
+                    (None, true) => {
+                        return Err(err(*line, format!("int `{}` returns no value", f.name)))
+                    }
+                }
+            }
+            Stmt::Expr(e) => check_expr(e, info, scope, 0)?,
+        }
+    }
+    Ok(())
+}
+
+fn check_expr(
+    e: &Expr,
+    info: &UnitInfo,
+    scope: &HashSet<String>,
+    line: usize,
+) -> Result<(), SemaError> {
+    match e {
+        Expr::Int(_) => Ok(()),
+        Expr::Var(name) => {
+            if scope.contains(name) {
+                return Ok(());
+            }
+            match info.globals.get(name) {
+                Some(g) if g.len.is_some() => {
+                    Err(err(line, format!("array `{name}` used as a scalar")))
+                }
+                Some(_) => Ok(()),
+                None => Err(err(line, format!("undefined variable `{name}`"))),
+            }
+        }
+        Expr::Index { name, index } => {
+            check_expr(index, info, scope, line)?;
+            match info.globals.get(name) {
+                Some(g) if g.len.is_none() => Err(err(line, format!("scalar `{name}` indexed"))),
+                Some(_) => Ok(()),
+                None if scope.contains(name) => {
+                    Err(err(line, format!("local `{name}` indexed (locals are scalars)")))
+                }
+                None => Err(err(line, format!("undefined array `{name}`"))),
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            check_expr(lhs, info, scope, line)?;
+            check_expr(rhs, info, scope, line)
+        }
+        Expr::Unary { operand, .. } => check_expr(operand, info, scope, line),
+        Expr::Call { name, args } => {
+            if name == "declassify" {
+                if args.len() != 1 {
+                    return Err(err(line, "`declassify` expects exactly 1 argument".into()));
+                }
+                return check_expr(&args[0], info, scope, line);
+            }
+            let Some(sig) = info.functions.get(name) else {
+                return Err(err(line, format!("undefined function `{name}`")));
+            };
+            if sig.arity != args.len() {
+                return Err(err(
+                    line,
+                    format!("`{name}` expects {} arguments, got {}", sig.arity, args.len()),
+                ));
+            }
+            for a in args {
+                check_expr(a, info, scope, line)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn err(line: usize, message: String) -> SemaError {
+    SemaError { line, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<UnitInfo, SemaError> {
+        check(&parse(src).expect("parse"))
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let info = check_src(
+            "secure int key[8]; const int tbl[2] = {1,2}; int g;\
+             int f(int x) { return x + g; }\
+             int main() { int i = f(3); return i + key[0] + tbl[1]; }",
+        )
+        .unwrap();
+        assert!(info.globals["key"].secure);
+        assert_eq!(info.globals["key"].len, Some(8));
+        assert_eq!(info.functions["f"].arity, 1);
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let e = check_src("int f() { return 0; }").unwrap_err();
+        assert!(e.message.contains("main"));
+    }
+
+    #[test]
+    fn undefined_variable_rejected() {
+        let e = check_src("int main() { return x; }").unwrap_err();
+        assert!(e.message.contains('x'));
+    }
+
+    #[test]
+    fn array_as_scalar_rejected() {
+        let e = check_src("int a[4]; int main() { return a; }").unwrap_err();
+        assert!(e.message.contains("scalar"));
+    }
+
+    #[test]
+    fn scalar_indexed_rejected() {
+        let e = check_src("int a; int main() { return a[0]; }").unwrap_err();
+        assert!(e.message.contains("indexed"));
+    }
+
+    #[test]
+    fn const_write_rejected() {
+        let e = check_src("const int t[2] = {1,2}; int main() { t[0] = 3; return 0; }").unwrap_err();
+        assert!(e.message.contains("const"));
+    }
+
+    #[test]
+    fn secure_const_contradiction_rejected() {
+        let e = check_src("secure const int k[2] = {1,2}; int main() { return 0; }").unwrap_err();
+        assert!(e.message.contains("contradictory"));
+    }
+
+    #[test]
+    fn call_arity_enforced() {
+        let e = check_src("int f(int a, int b) { return a + b; } int main() { return f(1); }")
+            .unwrap_err();
+        assert!(e.message.contains("expects 2"));
+    }
+
+    #[test]
+    fn void_return_value_mismatch() {
+        let e = check_src("void f() { return 1; } int main() { return 0; }").unwrap_err();
+        assert!(e.message.contains("void"));
+        let e2 = check_src("int f() { return; } int main() { return 0; }").unwrap_err();
+        assert!(e2.message.contains("no value"));
+    }
+
+    #[test]
+    fn max_four_params() {
+        let e = check_src("int f(int a, int b, int c, int d, int e) { return 0; } int main() { return 0; }")
+            .unwrap_err();
+        assert!(e.message.contains("at most 4"));
+    }
+
+    #[test]
+    fn duplicate_globals_and_locals_rejected() {
+        assert!(check_src("int x; int x; int main() { return 0; }").is_err());
+        assert!(check_src("int main() { int y; int y; return 0; }").is_err());
+    }
+
+    #[test]
+    fn local_shadows_global() {
+        // A local named like a global array is a scalar inside the function.
+        assert!(check_src("int a[4]; int main() { int a; a = 3; return a; }").is_ok());
+    }
+}

@@ -1,0 +1,609 @@
+//! Compiling, running, measuring, and validating masked DES encryptions.
+
+use crate::desgen::{
+    des_source_with, DesProgramSpec, MARKER_INITIAL_PERM, MARKER_KEY_PERM, MARKER_OUTPUT_PERM,
+    MARKER_ROUND,
+};
+use emask_cc::{compile, CompileError, CompileOptions, MaskPolicy, SliceReport};
+use emask_cpu::{Cpu, CpuError, RunResult};
+use emask_des::bitarray::BitArrayState;
+use emask_des::bits::{from_bit_vec, to_bit_vec};
+use emask_energy::{EnergyModel, EnergyParams, EnergyTrace};
+use emask_isa::Program;
+use std::fmt;
+use std::ops::Range;
+
+/// An execution phase of the DES program, derived from phase markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Initial (plaintext) permutation.
+    InitialPermutation,
+    /// Key permutation (PC-1).
+    KeyPermutation,
+    /// Feistel round `1..=16`.
+    Round(u8),
+    /// Output inverse permutation.
+    OutputPermutation,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::InitialPermutation => f.write_str("initial permutation"),
+            Phase::KeyPermutation => f.write_str("key permutation"),
+            Phase::Round(n) => write!(f, "round {n}"),
+            Phase::OutputPermutation => f.write_str("output permutation"),
+        }
+    }
+}
+
+/// A phase boundary observed during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseMarker {
+    /// The phase that starts here.
+    pub phase: Phase,
+    /// The cycle of the marker store's memory access.
+    pub cycle: u64,
+}
+
+/// Everything measured from one simulated encryption.
+#[derive(Debug, Clone)]
+pub struct EncryptionRun {
+    /// The ciphertext read back from the simulated data memory, already
+    /// validated against the golden model.
+    pub ciphertext: u64,
+    /// The per-cycle energy trace.
+    pub trace: EnergyTrace,
+    /// Pipeline statistics.
+    pub stats: RunResult,
+    /// Phase boundaries in cycle order.
+    pub markers: Vec<PhaseMarker>,
+}
+
+impl EncryptionRun {
+    /// The cycle window of `phase` (start inclusive, end exclusive; the
+    /// end is the next marker or the end of the trace).
+    pub fn phase_window(&self, phase: Phase) -> Option<Range<usize>> {
+        let i = self.markers.iter().position(|m| m.phase == phase)?;
+        let start = self.markers[i].cycle as usize;
+        let end = self
+            .markers
+            .get(i + 1)
+            .map(|m| m.cycle as usize)
+            .unwrap_or_else(|| self.trace.len());
+        Some(start..end)
+    }
+
+    /// The energy sub-trace of `phase`.
+    pub fn phase_trace(&self, phase: Phase) -> Option<EnergyTrace> {
+        self.phase_window(phase).map(|w| self.trace.window(w))
+    }
+}
+
+/// Failures while running a compiled DES program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The simulated CPU faulted.
+    Cpu(CpuError),
+    /// The simulated ciphertext disagreed with the golden model — a
+    /// simulator or compiler bug, never silently ignored.
+    Mismatch {
+        /// What the simulation produced.
+        simulated: u64,
+        /// What the golden model says.
+        expected: u64,
+    },
+    /// An output word was not a bit (0/1) — the bit-per-word contract was
+    /// violated, e.g. by an injected fault.
+    GarbledOutput {
+        /// Index of the offending output word.
+        word: usize,
+        /// Its value.
+        value: u32,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Cpu(e) => write!(f, "cpu fault: {e}"),
+            RunError::Mismatch { simulated, expected } => write!(
+                f,
+                "ciphertext mismatch: simulated {simulated:016X}, golden model {expected:016X}"
+            ),
+            RunError::GarbledOutput { word, value } => {
+                write!(f, "output word {word} is not a bit: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<CpuError> for RunError {
+    fn from(e: CpuError) -> Self {
+        RunError::Cpu(e)
+    }
+}
+
+/// A compiled, reusable masked-DES instance: one program, one policy.
+///
+/// Compilation happens once; every [`MaskedDes::encrypt`] call loads a
+/// fresh simulated machine, pokes the key and plaintext bits into data
+/// memory, runs to `halt`, and returns the validated [`EncryptionRun`].
+/// Because the program has no data-dependent control flow, every run takes
+/// the same number of cycles and traces are perfectly aligned — the
+/// best case for the attacker, as the paper intends.
+#[derive(Debug, Clone)]
+pub struct MaskedDes {
+    program: Program,
+    report: SliceReport,
+    policy: MaskPolicy,
+    spec: DesProgramSpec,
+    params: EnergyParams,
+    asm: String,
+    decryptor: bool,
+    cycle_limit: u64,
+}
+
+impl MaskedDes {
+    /// Compiles full 16-round DES under `policy` with calibrated energy
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] if the generated program fails to compile —
+    /// which would be a bug in `emask-cc`, surfaced loudly.
+    pub fn compile(policy: MaskPolicy) -> Result<Self, CompileError> {
+        Self::compile_spec(policy, &DesProgramSpec::default())
+    }
+
+    /// Compiles a reduced-round variant (attack experiments use 2–4 rounds
+    /// to keep trace matrices small).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MaskedDes::compile`].
+    pub fn compile_spec(
+        policy: MaskPolicy,
+        spec: &DesProgramSpec,
+    ) -> Result<Self, CompileError> {
+        Self::compile_with(policy, spec, false)
+    }
+
+    /// Compiles the full 16-round DES **decryptor** under `policy` — the
+    /// same Figure 2 structure with the reverse (right-rotating) key
+    /// schedule. Use [`MaskedDes::decrypt`] on the result.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MaskedDes::compile`].
+    pub fn compile_decryptor(policy: MaskPolicy) -> Result<Self, CompileError> {
+        Self::compile_with(policy, &DesProgramSpec::default(), true)
+    }
+
+    fn compile_with(
+        policy: MaskPolicy,
+        spec: &DesProgramSpec,
+        decrypt: bool,
+    ) -> Result<Self, CompileError> {
+        let src = des_source_with(spec, decrypt);
+        let out = compile(&src, CompileOptions::paper_style(policy))?;
+        Ok(Self {
+            program: out.program,
+            report: out.report,
+            policy,
+            spec: *spec,
+            params: EnergyParams::calibrated(),
+            asm: out.asm,
+            decryptor: decrypt,
+            cycle_limit: 50_000_000,
+        })
+    }
+
+    /// Replaces the per-run cycle budget (default 50 M). Fault-injection
+    /// harnesses lower it so a fault that produces an endless loop is
+    /// detected quickly as [`emask_cpu::CpuErrorKind::CycleLimit`].
+    pub fn with_cycle_limit(mut self, cycle_limit: u64) -> Self {
+        self.cycle_limit = cycle_limit;
+        self
+    }
+
+    /// True when this instance was compiled with
+    /// [`MaskedDes::compile_decryptor`].
+    pub fn is_decryptor(&self) -> bool {
+        self.decryptor
+    }
+
+    /// Replaces the energy parameters (ablation studies).
+    pub fn with_params(mut self, params: EnergyParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The masking policy.
+    pub fn policy(&self) -> MaskPolicy {
+        self.policy
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Mutable access to the compiled program — for **fault-injection
+    /// experiments** (flip table bits, skip instructions) in the spirit of
+    /// the fault-generation attacks the paper's related work surveys.
+    /// Every run still validates against the golden model, so injected
+    /// faults surface as [`RunError::Mismatch`] rather than wrong results.
+    pub fn program_mut(&mut self) -> &mut Program {
+        &mut self.program
+    }
+
+    /// The generated assembly listing.
+    pub fn asm(&self) -> &str {
+        &self.asm
+    }
+
+    /// The forward-slice report.
+    pub fn report(&self) -> &SliceReport {
+        &self.report
+    }
+
+    /// Number of rounds in this instance.
+    pub fn rounds(&self) -> usize {
+        self.spec.rounds
+    }
+
+    /// Encrypts one block, returning the full measured run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Cpu`] on a simulation fault and
+    /// [`RunError::Mismatch`] if the ciphertext disagrees with the golden
+    /// model.
+    pub fn encrypt(&self, plaintext: u64, key: u64) -> Result<EncryptionRun, RunError> {
+        assert!(!self.decryptor, "this instance was compiled as a decryptor; use decrypt()");
+        self.run_block(plaintext, key)
+    }
+
+    /// Decrypts one block on a decryptor instance (see
+    /// [`MaskedDes::compile_decryptor`]), with the same measurement and
+    /// golden-model validation as [`MaskedDes::encrypt`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`MaskedDes::encrypt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this instance is an encryptor.
+    pub fn decrypt(&self, ciphertext: u64, key: u64) -> Result<EncryptionRun, RunError> {
+        assert!(self.decryptor, "this instance was compiled as an encryptor; use encrypt()");
+        self.run_block(ciphertext, key)
+    }
+
+    /// CBC encryption of a multi-block message on the simulated machine:
+    /// each block's input is `plaintext_i ⊕ previous_ciphertext`, chained
+    /// by the host (the protocol layer of a real smart card). Returns the
+    /// ciphertext blocks and the concatenated energy trace of all runs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MaskedDes::encrypt`], for any block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a decryptor instance.
+    pub fn encrypt_cbc(
+        &self,
+        blocks: &[u64],
+        iv: u64,
+        key: u64,
+    ) -> Result<(Vec<u64>, EnergyTrace), RunError> {
+        assert!(!self.decryptor, "CBC chaining is encrypt-only here");
+        let mut prev = iv;
+        let mut ciphertexts = Vec::with_capacity(blocks.len());
+        let mut trace = EnergyTrace::new();
+        for &block in blocks {
+            let run = self.run_block(block ^ prev, key)?;
+            prev = run.ciphertext;
+            ciphertexts.push(run.ciphertext);
+            trace.extend(run.trace.samples().iter().copied());
+        }
+        Ok((ciphertexts, trace))
+    }
+
+    fn run_block(&self, input: u64, key: u64) -> Result<EncryptionRun, RunError> {
+        let plaintext = input;
+        let mut cpu = Cpu::new(&self.program);
+        // Poke inputs: one word per bit, MSB first (paper Figure 4 layout).
+        let key_addr = self.program.data_addr("key");
+        let data_addr = self.program.data_addr("data");
+        for (i, b) in to_bit_vec(key).iter().enumerate() {
+            cpu.memory_mut()
+                .store(key_addr + 4 * i as u32, u32::from(*b))
+                .expect("key array in range");
+        }
+        for (i, b) in to_bit_vec(plaintext).iter().enumerate() {
+            cpu.memory_mut()
+                .store(data_addr + 4 * i as u32, u32::from(*b))
+                .expect("data array in range");
+        }
+        let marker_addr = self.program.data_addr("marker");
+
+        let mut model = EnergyModel::with_params(self.params);
+        let mut trace = EnergyTrace::new();
+        let mut markers = Vec::new();
+        let stats = cpu.run_with(self.cycle_limit, |act| {
+            trace.push(model.observe(act));
+            if let Some(mem) = act.mem {
+                if mem.is_store && mem.addr == marker_addr {
+                    if let Some(phase) = phase_of_marker(mem.data) {
+                        markers.push(PhaseMarker { phase, cycle: act.cycle });
+                    }
+                }
+            }
+        })?;
+
+        // Read the ciphertext back and validate against the golden model.
+        let out_addr = self.program.data_addr("output");
+        let mut bits = [0u8; 64];
+        for (i, bit) in bits.iter_mut().enumerate() {
+            let w = cpu.memory().load(out_addr + 4 * i as u32).expect("output in range");
+            if w > 1 {
+                // A fault (injected or otherwise) broke the bit-per-word
+                // contract: surface it cleanly rather than panicking.
+                return Err(RunError::GarbledOutput { word: i, value: w });
+            }
+            *bit = w as u8;
+        }
+        let ciphertext = from_bit_vec(&bits);
+        let expected = if self.decryptor {
+            emask_des::Des::new(key).decrypt_block(plaintext)
+        } else {
+            golden(plaintext, key, self.spec.rounds)
+        };
+        if ciphertext != expected {
+            return Err(RunError::Mismatch { simulated: ciphertext, expected });
+        }
+        Ok(EncryptionRun { ciphertext, trace, stats, markers })
+    }
+}
+
+/// The golden-model reference for `rounds`-round DES.
+fn golden(plaintext: u64, key: u64, rounds: usize) -> u64 {
+    let mut st = BitArrayState::new(plaintext, key);
+    for m in 1..=rounds {
+        st.round(m);
+    }
+    st.output()
+}
+
+fn phase_of_marker(value: u32) -> Option<Phase> {
+    match value {
+        MARKER_INITIAL_PERM => Some(Phase::InitialPermutation),
+        MARKER_KEY_PERM => Some(Phase::KeyPermutation),
+        MARKER_OUTPUT_PERM => Some(Phase::OutputPermutation),
+        v if v > MARKER_ROUND && v <= MARKER_ROUND + 16 => {
+            Some(Phase::Round((v - MARKER_ROUND) as u8))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emask_des::Des;
+
+    const KEY: u64 = 0x1334_5779_9BBC_DFF1;
+    const PLAIN: u64 = 0x0123_4567_89AB_CDEF;
+
+    fn two_rounds(policy: MaskPolicy) -> MaskedDes {
+        MaskedDes::compile_spec(policy, &DesProgramSpec { rounds: 2 }).expect("compile")
+    }
+
+    #[test]
+    fn full_des_matches_fips_walkthrough() {
+        let des = MaskedDes::compile(MaskPolicy::None).expect("compile");
+        let run = des.encrypt(PLAIN, KEY).expect("run");
+        assert_eq!(run.ciphertext, 0x85E8_1354_0F0A_B405);
+        assert_eq!(run.ciphertext, Des::new(KEY).encrypt_block(PLAIN));
+    }
+
+    #[test]
+    fn full_des_matches_under_selective_masking() {
+        let des = MaskedDes::compile(MaskPolicy::Selective).expect("compile");
+        let run = des.encrypt(PLAIN, KEY).expect("run");
+        assert_eq!(run.ciphertext, 0x85E8_1354_0F0A_B405);
+        assert!(des.program().secure_instruction_count() > 0);
+    }
+
+    #[test]
+    fn reduced_round_variants_match_golden_model() {
+        for rounds in [1usize, 2, 4] {
+            let des = MaskedDes::compile_spec(
+                MaskPolicy::Selective,
+                &DesProgramSpec { rounds },
+            )
+            .expect("compile");
+            let run = des.encrypt(PLAIN, KEY).expect("run");
+            assert_eq!(run.ciphertext, golden(PLAIN, KEY, rounds), "{rounds} rounds");
+        }
+    }
+
+    #[test]
+    fn traces_are_aligned_across_inputs() {
+        // No data-dependent control flow → identical cycle counts.
+        let des = two_rounds(MaskPolicy::None);
+        let a = des.encrypt(0, 0).expect("run");
+        let b = des.encrypt(u64::MAX, 0xFFFF_FFFF_0000_0000).expect("run");
+        assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+    }
+
+    #[test]
+    fn markers_cover_all_phases_in_order(){
+        let des = two_rounds(MaskPolicy::None);
+        let run = des.encrypt(PLAIN, KEY).expect("run");
+        let phases: Vec<Phase> = run.markers.iter().map(|m| m.phase).collect();
+        assert_eq!(
+            phases,
+            vec![
+                Phase::InitialPermutation,
+                Phase::KeyPermutation,
+                Phase::Round(1),
+                Phase::Round(2),
+                Phase::OutputPermutation,
+            ]
+        );
+        // Strictly increasing cycles.
+        assert!(run.markers.windows(2).all(|w| w[0].cycle < w[1].cycle));
+    }
+
+    #[test]
+    fn phase_windows_partition_the_run() {
+        let des = two_rounds(MaskPolicy::None);
+        let run = des.encrypt(PLAIN, KEY).expect("run");
+        let w1 = run.phase_window(Phase::Round(1)).unwrap();
+        let w2 = run.phase_window(Phase::Round(2)).unwrap();
+        assert_eq!(w1.end, w2.start);
+        assert!(run.phase_trace(Phase::Round(1)).unwrap().total_pj() > 0.0);
+        assert!(run.phase_window(Phase::Round(3)).is_none());
+    }
+
+    #[test]
+    fn secure_counts_ordered_across_policies() {
+        let none = two_rounds(MaskPolicy::None);
+        let sel = two_rounds(MaskPolicy::Selective);
+        let ls = two_rounds(MaskPolicy::AllLoadsStores);
+        let all = two_rounds(MaskPolicy::AllInstructions);
+        let count = |d: &MaskedDes| d.program().secure_instruction_count();
+        assert_eq!(count(&none), 0);
+        assert!(count(&sel) > 0);
+        assert!(count(&sel) < count(&all));
+        assert!(count(&ls) < count(&all));
+        // Everything except the 2-instruction startup stub (jal main;
+        // halt), which is outside the compiled program.
+        assert_eq!(count(&all), all.program().text.len() - 2);
+    }
+
+    #[test]
+    fn energy_ordering_matches_paper_table() {
+        // none < selective < all-loads-stores < all-instructions.
+        let key = KEY;
+        let totals: Vec<f64> = [
+            MaskPolicy::None,
+            MaskPolicy::Selective,
+            MaskPolicy::AllLoadsStores,
+            MaskPolicy::AllInstructions,
+        ]
+        .iter()
+        .map(|&p| two_rounds(p).encrypt(PLAIN, key).expect("run").trace.total_pj())
+        .collect();
+        assert!(totals[0] < totals[1], "selective must cost more than none: {totals:?}");
+        assert!(totals[1] < totals[2], "selective must beat all-loads-stores: {totals:?}");
+        assert!(totals[2] < totals[3], "all-loads-stores must beat all-secure: {totals:?}");
+    }
+
+    #[test]
+    fn masked_key_energy_is_key_independent() {
+        // The core claim: with selective masking, two different keys give
+        // *identical* energy traces for the same plaintext.
+        let des = two_rounds(MaskPolicy::Selective);
+        let a = des.encrypt(PLAIN, KEY).expect("run");
+        let b = des.encrypt(PLAIN, KEY ^ (1 << 62)).expect("run");
+        // The output permutation legitimately differs: different keys give
+        // different (public) ciphertexts. Everything before it must be
+        // bit-for-bit identical in energy.
+        let end = a.phase_window(Phase::OutputPermutation).expect("marker").start;
+        let diff = a.trace.window(0..end).diff(&b.trace.window(0..end));
+        assert!(
+            diff.max_abs() < 1e-9,
+            "masked traces differ by up to {} pJ",
+            diff.max_abs()
+        );
+    }
+
+    #[test]
+    fn unmasked_key_energy_leaks() {
+        let des = two_rounds(MaskPolicy::None);
+        let a = des.encrypt(PLAIN, KEY).expect("run");
+        let b = des.encrypt(PLAIN, KEY ^ (1 << 62)).expect("run");
+        let diff = a.trace.diff(&b.trace);
+        assert!(diff.max_abs() > 1.0, "unmasked traces must differ: {}", diff.max_abs());
+    }
+
+    #[test]
+    fn plaintext_differences_survive_masking_only_in_initial_permutation() {
+        let des = two_rounds(MaskPolicy::Selective);
+        let a = des.encrypt(PLAIN, KEY).expect("run");
+        let b = des.encrypt(PLAIN ^ (1 << 40), KEY).expect("run");
+        let diff = a.trace.diff(&b.trace);
+        // Differences exist (the plaintext is public and unmasked)...
+        assert!(diff.max_abs() > 1.0);
+        // ...but none in the secure rounds' key-generation region: check
+        // the full key permutation window is clean.
+        let w = a.phase_window(Phase::KeyPermutation).unwrap();
+        let kp = diff.window(w);
+        assert!(kp.max_abs() < 1e-9, "key permutation leaked plaintext: {}", kp.max_abs());
+    }
+
+    #[test]
+    fn cbc_on_the_simulator_matches_host_side_chaining() {
+        let des = two_rounds(MaskPolicy::None);
+        let blocks = [0x1111_2222_3333_4444u64, 0x5555_6666_7777_8888, 0x9999_AAAA_BBBB_CCCC];
+        let iv = 0x0F0F_0F0F_F0F0_F0F0;
+        let (cts, trace) = des.encrypt_cbc(&blocks, iv, KEY).expect("cbc");
+        // Reference chaining through the same reduced-round golden model.
+        let mut prev = iv;
+        for (p, &c) in blocks.iter().zip(&cts) {
+            let expect = golden(p ^ prev, KEY, 2);
+            assert_eq!(c, expect);
+            prev = c;
+        }
+        // Concatenated trace covers all three runs.
+        let single = des.encrypt(blocks[0] ^ iv, KEY).expect("run").trace.len();
+        assert_eq!(trace.len(), 3 * single);
+    }
+
+    #[test]
+    fn decryptor_inverts_the_golden_encryption() {
+        let dec = MaskedDes::compile_decryptor(MaskPolicy::None).expect("compile");
+        assert!(dec.is_decryptor());
+        let run = dec.decrypt(0x85E8_1354_0F0A_B405, KEY).expect("run");
+        assert_eq!(run.ciphertext, PLAIN);
+    }
+
+    #[test]
+    fn masked_decryptor_is_key_indistinguishable() {
+        let dec = MaskedDes::compile_decryptor(MaskPolicy::Selective).expect("compile");
+        let a = dec.decrypt(PLAIN, KEY).expect("run");
+        let b = dec.decrypt(PLAIN, KEY ^ (1 << 62)).expect("run");
+        let end = a.phase_window(Phase::OutputPermutation).expect("marker").start;
+        let diff = a.trace.window(0..end).diff(&b.trace.window(0..end));
+        assert!(diff.max_abs() < 1e-9, "masked decryptor leaked {} pJ", diff.max_abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "compiled as an encryptor")]
+    fn decrypt_on_encryptor_panics() {
+        let des = two_rounds(MaskPolicy::None);
+        let _ = des.decrypt(0, 0);
+    }
+
+    #[test]
+    fn mismatch_error_is_loud() {
+        // Corrupt the round-1 rotation amount (1 -> 0): K1 changes for
+        // any key whose C0/D0 are not rotation-invariant, so the
+        // ciphertext must diverge from the golden model.
+        let mut des = two_rounds(MaskPolicy::None);
+        let addr = des.program.data_addr("shifts");
+        let word = ((addr - emask_isa::program::DATA_BASE) / 4) as usize;
+        des.program.data[word] ^= 1;
+        let err = des.encrypt(PLAIN, KEY).unwrap_err();
+        assert!(matches!(err, RunError::Mismatch { .. }));
+        assert!(err.to_string().contains("mismatch"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-cycle microarchitectural activity records.
+//!
+//! A [`CycleActivity`] is the complete "what toggled this cycle" report the
+//! energy model consumes: the value driven onto each bus / latched into each
+//! pipeline register, tagged with the owning instruction's secure bit. The
+//! split mirrors the components SimplePower models (buses, pipeline
+//! registers, functional units, register file, memory) and the components
+//! the paper's architecture modifies (Figure 3).
+
+use emask_isa::{Instruction, Op, OpClass};
+
+/// One 32-bit bus or pipeline-register sample.
+///
+/// When `active` is false the latch was not clocked this cycle (a bubble or
+/// a gated stage); the energy model charges no switching for it. When
+/// `secure` is true the value travelled on the dual-rail pre-charged path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BusSample {
+    /// The value driven/latched.
+    pub value: u32,
+    /// Whether the owning instruction carries the secure bit.
+    pub secure: bool,
+    /// Whether the bus/latch toggled at all this cycle.
+    pub active: bool,
+}
+
+impl BusSample {
+    /// An inactive (gated) sample.
+    pub fn idle() -> Self {
+        Self::default()
+    }
+
+    /// An active sample.
+    pub fn new(value: u32, secure: bool) -> Self {
+        Self { value, secure, active: true }
+    }
+}
+
+/// Functional-unit activity in the EX stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExActivity {
+    /// The executed operation.
+    pub op: Op,
+    /// Its class (selects the energy table).
+    pub class: OpClass,
+    /// First operand as presented to the unit.
+    pub a: u32,
+    /// Second operand (immediate already substituted).
+    pub b: u32,
+    /// Unit output.
+    pub result: u32,
+    /// Secure-path execution (complementary unit active).
+    pub secure: bool,
+}
+
+/// Data-memory activity in the MEM stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemActivity {
+    /// True for a store, false for a load.
+    pub is_store: bool,
+    /// Byte address.
+    pub addr: u32,
+    /// The word moved on the memory data bus.
+    pub data: u32,
+    /// Secure access (dual-rail pre-charged data bus).
+    pub secure: bool,
+}
+
+/// Everything that happened in one clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleActivity {
+    /// Cycle number, starting at 0.
+    pub cycle: u64,
+    /// PC fetched this cycle, if the fetch stage was active.
+    pub fetch_pc: Option<u32>,
+    /// Instruction bus (the fetched encoding).
+    pub inst_word: BusSample,
+    /// Number of register-file read ports exercised in ID.
+    pub regfile_reads: u8,
+    /// Whether WB wrote the register file.
+    pub regfile_write: bool,
+    /// Operand bus A feeding EX (post-forwarding; gated when unused).
+    pub id_ex_a: BusSample,
+    /// Operand bus B feeding EX (post-forwarding; gated when unused).
+    pub id_ex_b: BusSample,
+    /// Functional-unit activity, if EX executed a real instruction.
+    pub ex: Option<ExActivity>,
+    /// Result latched into EX/MEM.
+    pub ex_mem_result: BusSample,
+    /// Data-memory activity, if MEM accessed memory.
+    pub mem: Option<MemActivity>,
+    /// Memory data bus (load data in, store data out); idle when MEM did
+    /// not access memory.
+    pub mem_bus: BusSample,
+    /// Value latched into MEM/WB.
+    pub mem_wb_value: BusSample,
+    /// The instruction that completed write-back this cycle.
+    pub retired: Option<Instruction>,
+    /// The decode stage stalled (load-use interlock).
+    pub stalled: bool,
+    /// Number of wrong-path instructions squashed this cycle (0 or 2).
+    pub flushed: u8,
+}
+
+impl CycleActivity {
+    /// An all-idle record for `cycle`.
+    pub fn idle(cycle: u64) -> Self {
+        Self {
+            cycle,
+            fetch_pc: None,
+            inst_word: BusSample::idle(),
+            regfile_reads: 0,
+            regfile_write: false,
+            id_ex_a: BusSample::idle(),
+            id_ex_b: BusSample::idle(),
+            ex: None,
+            ex_mem_result: BusSample::idle(),
+            mem: None,
+            mem_bus: BusSample::idle(),
+            mem_wb_value: BusSample::idle(),
+            retired: None,
+            stalled: false,
+            flushed: 0,
+        }
+    }
+
+    /// True if any stage carried a secure instruction this cycle.
+    pub fn any_secure(&self) -> bool {
+        (self.inst_word.active && self.inst_word.secure)
+            || (self.id_ex_a.active && self.id_ex_a.secure)
+            || self.ex.is_some_and(|e| e.secure)
+            || self.mem.is_some_and(|m| m.secure)
+            || (self.mem_wb_value.active && self.mem_wb_value.secure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_record_is_fully_inactive() {
+        let a = CycleActivity::idle(7);
+        assert_eq!(a.cycle, 7);
+        assert!(!a.inst_word.active);
+        assert!(a.ex.is_none() && a.mem.is_none() && a.retired.is_none());
+        assert!(!a.any_secure());
+    }
+
+    #[test]
+    fn any_secure_detects_each_stage() {
+        let mut a = CycleActivity::idle(0);
+        assert!(!a.any_secure());
+        a.mem = Some(MemActivity { is_store: false, addr: 0, data: 0, secure: true });
+        assert!(a.any_secure());
+        let mut b = CycleActivity::idle(0);
+        b.id_ex_a = BusSample::new(5, true);
+        assert!(b.any_secure());
+        let mut c = CycleActivity::idle(0);
+        c.id_ex_a = BusSample::new(5, false);
+        assert!(!c.any_secure());
+    }
+
+    #[test]
+    fn bus_sample_constructors() {
+        assert!(!BusSample::idle().active);
+        let s = BusSample::new(9, true);
+        assert!(s.active && s.secure);
+        assert_eq!(s.value, 9);
+    }
+}

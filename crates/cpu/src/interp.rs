@@ -1,0 +1,277 @@
+//! A reference instruction-set interpreter (ISS).
+//!
+//! Executes one instruction per step with no pipeline, no forwarding and
+//! no hazards — the architectural specification the 5-stage
+//! [`Cpu`](crate::Cpu) must agree with. The workspace property tests run
+//! both on random programs and demand identical final register/memory
+//! state and identical retirement order; any divergence is a pipeline bug
+//! (lost forwarding, wrong-path commit, interlock failure, ...).
+
+use crate::memory::DataMemory;
+use crate::pipeline::{CpuError, CpuErrorKind};
+use crate::regfile::RegisterFile;
+use emask_isa::program::{DATA_BASE, MEM_SIZE, STACK_TOP};
+use emask_isa::{Instruction, Op, OpClass, Program, Reg};
+
+/// The reference interpreter.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    text: Vec<Instruction>,
+    regs: RegisterFile,
+    mem: DataMemory,
+    pc: u32,
+    halted: bool,
+    executed: u64,
+}
+
+impl Interpreter {
+    /// Loads a program exactly as [`crate::Cpu::new`] does (same memory
+    /// map, same `$sp`/`$gp` initialization).
+    pub fn new(program: &Program) -> Self {
+        let mut mem = DataMemory::new(MEM_SIZE);
+        mem.load_image(DATA_BASE, &program.data);
+        let mut regs = RegisterFile::new();
+        regs.write(Reg::Sp, STACK_TOP);
+        regs.write(Reg::Gp, DATA_BASE);
+        Self { text: program.text.clone(), regs, mem, pc: 0, halted: false, executed: 0 }
+    }
+
+    /// Current value of a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs.read(r)
+    }
+
+    /// Immutable view of data memory.
+    pub fn memory(&self) -> &DataMemory {
+        &self.mem
+    }
+
+    /// Mutable view of data memory (harness setup).
+    pub fn memory_mut(&mut self) -> &mut DataMemory {
+        &mut self.mem
+    }
+
+    /// True once `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions executed.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// A snapshot of all registers.
+    pub fn registers(&self) -> [u32; 32] {
+        self.regs.snapshot()
+    }
+
+    /// Runs until `halt` or the instruction budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] for memory faults, division by zero, a PC
+    /// outside the text segment, or an exhausted budget — the same error
+    /// taxonomy as the pipeline, with `cycle` meaning "instructions
+    /// executed".
+    pub fn run(&mut self, max_instructions: u64) -> Result<u64, CpuError> {
+        while !self.halted {
+            if self.executed >= max_instructions {
+                return Err(CpuError {
+                    cycle: self.executed,
+                    kind: CpuErrorKind::CycleLimit { limit: max_instructions },
+                });
+            }
+            self.step()?;
+        }
+        Ok(self.executed)
+    }
+
+    /// Executes exactly one instruction.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Interpreter::run`].
+    pub fn step(&mut self) -> Result<(), CpuError> {
+        let fault = |kind| CpuError { cycle: self.executed, kind };
+        let Some(&inst) = self.text.get(self.pc as usize) else {
+            return Err(fault(CpuErrorKind::PcOutOfRange { pc: self.pc }));
+        };
+        let a = self.regs.read(inst.rs);
+        let b = self.regs.read(inst.rt);
+        let imm = inst.imm;
+        let mut next_pc = self.pc + 1;
+        match inst.class() {
+            OpClass::AluReg | OpClass::AluImm | OpClass::ShiftImm => {
+                let (x, y) = alu_operands(&inst, a, b);
+                let v = eval(inst.op, x, y).ok_or_else(|| fault(CpuErrorKind::DivideByZero))?;
+                if let Some(d) = inst.dest() {
+                    self.regs.write(d, v);
+                }
+            }
+            OpClass::Load => {
+                let addr = a.wrapping_add(imm as u32);
+                let v = self.mem.load(addr).map_err(|e| fault(CpuErrorKind::Memory(e)))?;
+                if let Some(d) = inst.dest() {
+                    self.regs.write(d, v);
+                }
+            }
+            OpClass::Store => {
+                let addr = a.wrapping_add(imm as u32);
+                self.mem.store(addr, b).map_err(|e| fault(CpuErrorKind::Memory(e)))?;
+            }
+            OpClass::Branch => {
+                let taken = match inst.op {
+                    Op::Beq => a == b,
+                    Op::Bne => a != b,
+                    Op::Blez => (a as i32) <= 0,
+                    Op::Bgtz => (a as i32) > 0,
+                    Op::Bltz => (a as i32) < 0,
+                    Op::Bgez => (a as i32) >= 0,
+                    _ => unreachable!(),
+                };
+                if taken {
+                    next_pc = (i64::from(self.pc) + 1 + i64::from(imm)) as u32;
+                }
+            }
+            OpClass::Jump => match inst.op {
+                Op::J => next_pc = inst.target,
+                Op::Jal => {
+                    self.regs.write(Reg::Ra, self.pc + 1);
+                    next_pc = inst.target;
+                }
+                Op::Jr => next_pc = a,
+                Op::Jalr => {
+                    if let Some(d) = inst.dest() {
+                        self.regs.write(d, self.pc + 1);
+                    }
+                    next_pc = a;
+                }
+                _ => unreachable!(),
+            },
+            OpClass::Halt => self.halted = true,
+        }
+        self.pc = next_pc;
+        self.executed += 1;
+        Ok(())
+    }
+}
+
+fn alu_operands(inst: &Instruction, a: u32, b: u32) -> (u32, u32) {
+    match inst.class() {
+        OpClass::AluReg => (a, b),
+        OpClass::ShiftImm => (b, inst.imm as u32),
+        OpClass::AluImm => match inst.op {
+            Op::Lui => (inst.imm as u32, 16),
+            op if op.zero_extends_imm() => (a, (inst.imm as u32) & 0xFFFF),
+            _ => (a, inst.imm as u32),
+        },
+        _ => (a, b),
+    }
+}
+
+fn eval(op: Op, a: u32, b: u32) -> Option<u32> {
+    Some(match op {
+        Op::Addu | Op::Addiu => a.wrapping_add(b),
+        Op::Subu => a.wrapping_sub(b),
+        Op::And | Op::Andi => a & b,
+        Op::Or | Op::Ori => a | b,
+        Op::Xor | Op::Xori => a ^ b,
+        Op::Nor => !(a | b),
+        Op::Sll | Op::Sllv => a.wrapping_shl(b & 31),
+        Op::Srl | Op::Srlv => a.wrapping_shr(b & 31),
+        Op::Sra | Op::Srav => ((a as i32).wrapping_shr(b & 31)) as u32,
+        Op::Slt | Op::Slti => u32::from((a as i32) < (b as i32)),
+        Op::Sltu | Op::Sltiu => u32::from(a < b),
+        Op::Mul => a.wrapping_mul(b),
+        Op::Div => {
+            if b == 0 {
+                return None;
+            }
+            ((a as i32).wrapping_div(b as i32)) as u32
+        }
+        Op::Rem => {
+            if b == 0 {
+                return None;
+            }
+            ((a as i32).wrapping_rem(b as i32)) as u32
+        }
+        Op::Lui => a << 16,
+        _ => a,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Cpu;
+    use emask_isa::assemble;
+
+    fn both(src: &str) -> (Cpu, Interpreter) {
+        let p = assemble(src).expect("asm");
+        let mut cpu = Cpu::new(&p);
+        let mut iss = Interpreter::new(&p);
+        cpu.run(1_000_000).expect("pipeline run");
+        iss.run(1_000_000).expect("iss run");
+        (cpu, iss)
+    }
+
+    fn assert_state_matches(cpu: &Cpu, iss: &Interpreter) {
+        for r in Reg::ALL {
+            assert_eq!(cpu.reg(r), iss.reg(r), "register {r} diverged");
+        }
+        // Compare a slab of data memory.
+        assert_eq!(
+            cpu.memory().read_words(DATA_BASE, 64),
+            iss.memory().read_words(DATA_BASE, 64)
+        );
+    }
+
+    #[test]
+    fn straight_line_agrees() {
+        let (cpu, iss) =
+            both(".text\n li $t0, 6\n li $t1, 7\n mul $t2, $t0, $t1\n subu $t3, $t2, $t0\n halt\n");
+        assert_state_matches(&cpu, &iss);
+        assert_eq!(cpu.reg(Reg::T2), 42);
+    }
+
+    #[test]
+    fn loops_and_memory_agree() {
+        let (cpu, iss) = both(
+            ".data\nbuf: .space 40\n.text\n la $t0, buf\n li $t1, 0\nloop: sll $t2, $t1, 2\n addu $t2, $t0, $t2\n mul $t3, $t1, $t1\n sw $t3, 0($t2)\n addiu $t1, $t1, 1\n li $t4, 10\n bne $t1, $t4, loop\n lw $t5, 36($t0)\n halt\n",
+        );
+        assert_state_matches(&cpu, &iss);
+        assert_eq!(cpu.reg(Reg::T5), 81);
+    }
+
+    #[test]
+    fn calls_agree() {
+        let (cpu, iss) = both(
+            ".text\n li $a0, 9\n jal triple\n move $s0, $v0\n halt\ntriple: addu $v0, $a0, $a0\n addu $v0, $v0, $a0\n jr $ra\n",
+        );
+        assert_state_matches(&cpu, &iss);
+        assert_eq!(cpu.reg(Reg::S0), 27);
+    }
+
+    #[test]
+    fn faults_agree_in_kind() {
+        let p = assemble(".text\n li $t0, 1\n li $t1, 0\n div $t2, $t0, $t1\n halt\n").unwrap();
+        let pe = Cpu::new(&p).run(1000).unwrap_err();
+        let ie = Interpreter::new(&p).run(1000).unwrap_err();
+        assert_eq!(pe.kind, ie.kind);
+        assert_eq!(ie.kind, CpuErrorKind::DivideByZero);
+    }
+
+    #[test]
+    fn instruction_count_equals_pipeline_retired() {
+        let p = assemble(
+            ".text\n li $t0, 0\nloop: addiu $t0, $t0, 1\n li $t1, 7\n bne $t0, $t1, loop\n halt\n",
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(&p);
+        let stats = cpu.run(10_000).unwrap();
+        let mut iss = Interpreter::new(&p);
+        let executed = iss.run(10_000).unwrap();
+        assert_eq!(stats.retired, executed, "pipeline must retire what the ISS executes");
+    }
+}

@@ -1,0 +1,163 @@
+//! The byte-addressed data memory.
+
+use std::fmt;
+
+/// Error produced by an invalid memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessError {
+    /// Address is not word-aligned.
+    Unaligned {
+        /// The offending byte address.
+        addr: u32,
+    },
+    /// Address is outside the memory.
+    OutOfBounds {
+        /// The offending byte address.
+        addr: u32,
+        /// Memory size in bytes.
+        size: u32,
+    },
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::Unaligned { addr } => write!(f, "unaligned word access at {addr:#010X}"),
+            AccessError::OutOfBounds { addr, size } => {
+                write!(f, "access at {addr:#010X} outside {size}-byte memory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// Byte-addressed RAM with word (32-bit) access granularity, matching the
+/// word-oriented load/store ISA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataMemory {
+    words: Vec<u32>,
+}
+
+impl DataMemory {
+    /// Allocates a zeroed memory of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a multiple of 4.
+    pub fn new(size: u32) -> Self {
+        assert_eq!(size % 4, 0, "memory size must be word-aligned");
+        Self { words: vec![0; (size / 4) as usize] }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// Loads the word at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] on misaligned or out-of-range addresses.
+    pub fn load(&self, addr: u32) -> Result<u32, AccessError> {
+        Ok(self.words[self.index(addr)?])
+    }
+
+    /// Stores `value` at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] on misaligned or out-of-range addresses.
+    pub fn store(&mut self, addr: u32, value: u32) -> Result<(), AccessError> {
+        let i = self.index(addr)?;
+        self.words[i] = value;
+        Ok(())
+    }
+
+    /// Copies `image` into memory starting at byte address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit — a setup error, not a simulated
+    /// fault.
+    pub fn load_image(&mut self, base: u32, image: &[u32]) {
+        assert_eq!(base % 4, 0, "image base must be word-aligned");
+        let start = (base / 4) as usize;
+        let end = start + image.len();
+        assert!(end <= self.words.len(), "image of {} words does not fit at {base:#X}", image.len());
+        self.words[start..end].copy_from_slice(image);
+    }
+
+    /// Reads `len` consecutive words starting at byte address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is misaligned or out of bounds.
+    pub fn read_words(&self, base: u32, len: usize) -> Vec<u32> {
+        assert_eq!(base % 4, 0);
+        let start = (base / 4) as usize;
+        self.words[start..start + len].to_vec()
+    }
+
+    fn index(&self, addr: u32) -> Result<usize, AccessError> {
+        if !addr.is_multiple_of(4) {
+            return Err(AccessError::Unaligned { addr });
+        }
+        let i = (addr / 4) as usize;
+        if i >= self.words.len() {
+            return Err(AccessError::OutOfBounds { addr, size: self.size() });
+        }
+        Ok(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_round_trip() {
+        let mut m = DataMemory::new(64);
+        m.store(0, 0xAABB_CCDD).unwrap();
+        m.store(60, 42).unwrap();
+        assert_eq!(m.load(0).unwrap(), 0xAABB_CCDD);
+        assert_eq!(m.load(60).unwrap(), 42);
+        assert_eq!(m.load(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn unaligned_access_rejected() {
+        let mut m = DataMemory::new(64);
+        assert_eq!(m.load(2), Err(AccessError::Unaligned { addr: 2 }));
+        assert_eq!(m.store(7, 1), Err(AccessError::Unaligned { addr: 7 }));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let m = DataMemory::new(64);
+        assert_eq!(m.load(64), Err(AccessError::OutOfBounds { addr: 64, size: 64 }));
+        assert!(m.load(0xFFFF_FFFC).is_err());
+    }
+
+    #[test]
+    fn image_loading() {
+        let mut m = DataMemory::new(64);
+        m.load_image(8, &[1, 2, 3]);
+        assert_eq!(m.read_words(8, 3), vec![1, 2, 3]);
+        assert_eq!(m.load(4).unwrap(), 0);
+        assert_eq!(m.load(20).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_image_panics() {
+        DataMemory::new(8).load_image(0, &[0; 3]);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(AccessError::Unaligned { addr: 2 }.to_string().contains("0x00000002"));
+        assert!(AccessError::OutOfBounds { addr: 64, size: 64 }.to_string().contains("64-byte"));
+    }
+}

@@ -1,0 +1,331 @@
+//! The *bit-per-word* DES representation of the simulated smart-card
+//! program.
+//!
+//! Figure 4 of the paper shows the software DES the authors compiled: bits
+//! are stored one per 32-bit word (`newL[i] = oldR[i]`), so a secure load /
+//! store / XOR of a *word* protects exactly one DES *bit*. This module
+//! provides that representation in Rust, plus [`BitArrayState`], a literal
+//! transcription of the modified DES algorithm of Figure 2. It serves two
+//! purposes:
+//!
+//! 1. it is the executable specification of the Tiny-C program that
+//!    `emask-core` compiles and runs on the simulated pipeline, and
+//! 2. every intermediate array is cross-checked against the packed golden
+//!    model ([`crate::cipher`]) in the tests, so a simulator bug cannot hide
+//!    behind a matching-but-wrong reference.
+
+// The round code below uses explicit index loops deliberately: it is a
+// line-by-line transcription of the paper's Figure 2 bit-array algorithm
+// (and the executable spec for the generated Tiny-C program).
+#![allow(clippy::needless_range_loop)]
+
+use crate::bits::{from_bit_vec, to_bit_vec};
+
+use crate::tables::{sboxes_flat, E, IP, IP_INV, P, PC1, PC2, SHIFTS};
+
+/// A 64-bit block expanded to one `u32` word per bit, MSB first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpandedBlock(pub [u32; 64]);
+
+impl ExpandedBlock {
+    /// Expands a packed block.
+    pub fn from_u64(block: u64) -> Self {
+        let bits = to_bit_vec(block);
+        let mut words = [0u32; 64];
+        for (w, &b) in words.iter_mut().zip(bits.iter()) {
+            *w = u32::from(b);
+        }
+        Self(words)
+    }
+
+    /// Packs back to a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any word is not 0 or 1.
+    pub fn to_u64(self) -> u64 {
+        let mut bits = [0u8; 64];
+        for (b, &w) in bits.iter_mut().zip(self.0.iter()) {
+            assert!(w <= 1, "expanded word {w} is not a bit");
+            *b = w as u8;
+        }
+        from_bit_vec(&bits)
+    }
+}
+
+impl From<u64> for ExpandedBlock {
+    fn from(block: u64) -> Self {
+        Self::from_u64(block)
+    }
+}
+
+/// A 64-bit key expanded to one word per bit — the *critical* array the
+/// programmer annotates `secure` in the Tiny-C source.
+pub type ExpandedKey = ExpandedBlock;
+
+/// The complete bit-array working state of the Figure 2 algorithm: every
+/// array the simulated program keeps in data memory.
+///
+/// Field names follow the paper's notation so the memory-layout mapping in
+/// `emask-core` reads one-to-one.
+#[derive(Debug, Clone)]
+pub struct BitArrayState {
+    /// `L` half, one bit per word.
+    pub l: [u32; 32],
+    /// `R` half.
+    pub r: [u32; 32],
+    /// Key-schedule `C` register (28 bits).
+    pub c: [u32; 28],
+    /// Key-schedule `D` register.
+    pub d: [u32; 28],
+    /// Current round key `Km` (48 bits).
+    pub k: [u32; 48],
+    /// Expanded `E(R)` (48 bits).
+    pub er: [u32; 48],
+    /// `E(R) ⊕ K` S-box input (48 bits).
+    pub xored: [u32; 48],
+    /// S-box output before `P` (32 bits).
+    pub sout: [u32; 32],
+    /// `f(R, K)` after `P` (32 bits).
+    pub f: [u32; 32],
+}
+
+impl BitArrayState {
+    /// Runs initial permutation and key permutation (PC-1), producing the
+    /// pre-round state — the first two boxes of Figure 2.
+    pub fn new(plaintext: u64, key: u64) -> Self {
+        let data = ExpandedBlock::from_u64(plaintext).0;
+        let keyw = ExpandedBlock::from_u64(key).0;
+        let mut l = [0u32; 32];
+        let mut r = [0u32; 32];
+        // (L, R) = PermuteIP(Data)
+        for i in 0..32 {
+            l[i] = data[(IP[i] - 1) as usize];
+            r[i] = data[(IP[i + 32] - 1) as usize];
+        }
+        // (C, D) = PermuteK1(Key)
+        let mut c = [0u32; 28];
+        let mut d = [0u32; 28];
+        for i in 0..28 {
+            c[i] = keyw[(PC1[i] - 1) as usize];
+            d[i] = keyw[(PC1[i + 28] - 1) as usize];
+        }
+        Self {
+            l,
+            r,
+            c,
+            d,
+            k: [0; 48],
+            er: [0; 48],
+            xored: [0; 48],
+            sout: [0; 32],
+            f: [0; 32],
+        }
+    }
+
+    /// Executes one round (`m` in `1..=16`): key generation (rotate + PC-2),
+    /// left-side assignment, and the right-side `f` computation — exactly
+    /// the three boxes inside the round of Figure 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is outside `1..=16`.
+    pub fn round(&mut self, m: usize) {
+        assert!((1..=16).contains(&m), "round {m} out of 1..=16");
+        let sboxes = sboxes_flat();
+        // Key generation: Cm = Rotate(Cm-1, n); Dm = Rotate(Dm-1, n).
+        let n = SHIFTS[m - 1] as usize;
+        self.c.rotate_left(n);
+        self.d.rotate_left(n);
+        // Km = PermuteK2(Cm, Dm).
+        for i in 0..48 {
+            let sel = (PC2[i] - 1) as usize;
+            self.k[i] = if sel < 28 { self.c[sel] } else { self.d[sel - 28] };
+        }
+        // E(R) = PermuteE(Rm-1).
+        for i in 0..48 {
+            self.er[i] = self.r[(E[i] - 1) as usize];
+        }
+        // S-box input: E(R) (+) Km.
+        for i in 0..48 {
+            self.xored[i] = self.er[i] ^ self.k[i];
+        }
+        // S(E(R) (+) Km): build each 6-bit index from bit words, then a
+        // single table lookup — the *indexing operation* the paper's secure
+        // indexing protects.
+        for b in 0..8 {
+            let mut idx = 0u32;
+            for j in 0..6 {
+                idx = (idx << 1) | self.xored[6 * b + j];
+            }
+            let four = u32::from(sboxes[b][idx as usize]);
+            for j in 0..4 {
+                self.sout[4 * b + j] = (four >> (3 - j)) & 1;
+            }
+        }
+        // f = P(sout).
+        for i in 0..32 {
+            self.f[i] = self.sout[(P[i] - 1) as usize];
+        }
+        // Left side: Lm = Rm-1; Right side: Rm = Lm-1 (+) f.
+        let old_l = self.l;
+        self.l = self.r;
+        for i in 0..32 {
+            self.r[i] = old_l[i] ^ self.f[i];
+        }
+    }
+
+    /// Output inverse permutation: `Output = PermuteIP⁻¹(R16, L16)`.
+    pub fn output(&self) -> u64 {
+        let mut preout = [0u32; 64];
+        preout[..32].copy_from_slice(&self.r);
+        preout[32..].copy_from_slice(&self.l);
+        let mut out = [0u32; 64];
+        for i in 0..64 {
+            out[i] = preout[(IP_INV[i] - 1) as usize];
+        }
+        ExpandedBlock(out).to_u64()
+    }
+
+    /// Runs all 16 rounds and returns the ciphertext.
+    pub fn encrypt_to_end(&mut self) -> u64 {
+        for m in 1..=16 {
+            self.round(m);
+        }
+        self.output()
+    }
+
+    /// Packs the current `L` half.
+    pub fn l_packed(&self) -> u32 {
+        pack32(&self.l)
+    }
+
+    /// Packs the current `R` half.
+    pub fn r_packed(&self) -> u32 {
+        pack32(&self.r)
+    }
+
+    /// Packs the current round key `K`.
+    pub fn k_packed(&self) -> u64 {
+        let mut v = 0u64;
+        for &b in &self.k {
+            v = (v << 1) | u64::from(b);
+        }
+        v
+    }
+}
+
+fn pack32(bits: &[u32; 32]) -> u32 {
+    let mut v = 0u32;
+    for &b in bits {
+        debug_assert!(b <= 1);
+        v = (v << 1) | b;
+    }
+    v
+}
+
+/// One-shot bit-array encryption of a single block — the executable
+/// specification of the simulated program.
+///
+/// # Examples
+///
+/// ```
+/// use emask_des::{bitarray, Des};
+/// let key = 0x133457799BBCDFF1;
+/// let p = 0x0123456789ABCDEF;
+/// assert_eq!(bitarray::encrypt_block(p, key), Des::new(key).encrypt_block(p));
+/// ```
+pub fn encrypt_block(plaintext: u64, key: u64) -> u64 {
+    BitArrayState::new(plaintext, key).encrypt_to_end()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cipher::Des;
+    use crate::key::KeySchedule;
+    use proptest::prelude::*;
+
+    #[test]
+    fn expanded_block_round_trips() {
+        for v in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF] {
+            assert_eq!(ExpandedBlock::from_u64(v).to_u64(), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bit")]
+    fn packing_non_bit_words_panics() {
+        let mut e = ExpandedBlock::from_u64(0);
+        e.0[3] = 2;
+        e.to_u64();
+    }
+
+    #[test]
+    fn initial_state_matches_golden_ip_and_pc1() {
+        let key = 0x1334_5779_9BBC_DFF1;
+        let p = 0x0123_4567_89AB_CDEF;
+        let st = BitArrayState::new(p, key);
+        let ks = KeySchedule::new(key);
+        let (_, trace) = Des::new(key).encrypt_block_traced(p);
+        assert_eq!(st.l_packed(), trace.l[0]);
+        assert_eq!(st.r_packed(), trace.r[0]);
+        assert_eq!(pack28(&st.c), ks.c(0));
+        assert_eq!(pack28(&st.d), ks.d(0));
+    }
+
+    #[test]
+    fn per_round_state_matches_golden_model() {
+        let key = 0x1334_5779_9BBC_DFF1;
+        let p = 0x0123_4567_89AB_CDEF;
+        let mut st = BitArrayState::new(p, key);
+        let ks = KeySchedule::new(key);
+        let (_, trace) = Des::new(key).encrypt_block_traced(p);
+        for m in 1..=16 {
+            st.round(m);
+            assert_eq!(st.l_packed(), trace.l[m], "L after round {m}");
+            assert_eq!(st.r_packed(), trace.r[m], "R after round {m}");
+            assert_eq!(st.k_packed(), ks.round_key(m).value(), "K{m}");
+            assert_eq!(pack28(&st.c), ks.c(m), "C{m}");
+            assert_eq!(pack28(&st.d), ks.d(m), "D{m}");
+        }
+    }
+
+    #[test]
+    fn walkthrough_ciphertext() {
+        assert_eq!(
+            encrypt_block(0x0123_4567_89AB_CDEF, 0x1334_5779_9BBC_DFF1),
+            0x85E8_1354_0F0A_B405
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=16")]
+    fn round_seventeen_panics() {
+        BitArrayState::new(0, 0).round(17);
+    }
+
+    fn pack28(bits: &[u32; 28]) -> u32 {
+        let mut v = 0u32;
+        for &b in bits {
+            v = (v << 1) | b;
+        }
+        v
+    }
+
+    proptest! {
+        #[test]
+        fn bitarray_equals_golden_model(key: u64, plain: u64) {
+            prop_assert_eq!(encrypt_block(plain, key), Des::new(key).encrypt_block(plain));
+        }
+
+        #[test]
+        fn all_state_words_remain_bits(key: u64, plain: u64) {
+            let mut st = BitArrayState::new(plain, key);
+            for m in 1..=16 {
+                st.round(m);
+                prop_assert!(st.l.iter().chain(&st.r).chain(&st.k).all(|&w| w <= 1));
+            }
+        }
+    }
+}

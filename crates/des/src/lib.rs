@@ -1,0 +1,55 @@
+//! # emask-des — reference DES golden model
+//!
+//! A from-scratch implementation of the Data Encryption Standard
+//! ([FIPS 46-3]) used as the *golden model* for the emask reproduction of
+//! "Masking the Energy Behavior of DES Encryption" (DATE 2003).
+//!
+//! The crate provides:
+//!
+//! * [`Des`] — single-key DES block cipher (encrypt/decrypt one 64-bit block),
+//! * [`TripleDes`] — EDE three-key / two-key triple DES,
+//! * [`Ecb`] and [`Cbc`] block modes over byte slices,
+//! * [`KeySchedule`] — the 16 48-bit round keys, exposed so the simulator-side
+//!   software DES can be validated round by round,
+//! * [`bits`] — MSB-first bit utilities matching FIPS table numbering,
+//! * [`bitarray`] — the *bit-per-word* expanded representation used by the
+//!   simulated smart-card program (one 32-bit word per DES bit, exactly the
+//!   coding style of Figure 4 of the paper).
+//!
+//! The paper's simulated processor runs a software DES compiled from a small
+//! C-like source; everything that program computes is cross-checked against
+//! this crate in the workspace integration tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use emask_des::Des;
+//!
+//! let des = Des::new(0x133457799BBCDFF1);
+//! let cipher = des.encrypt_block(0x0123456789ABCDEF);
+//! assert_eq!(cipher, 0x85E813540F0AB405);
+//! assert_eq!(des.decrypt_block(cipher), 0x0123456789ABCDEF);
+//! ```
+//!
+//! [FIPS 46-3]: https://csrc.nist.gov/publications/detail/fips/46/3/archive/1999-10-25
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitarray;
+pub mod bits;
+pub mod cipher;
+pub mod key;
+pub mod modes;
+pub mod stream_modes;
+pub mod tables;
+pub mod tdes;
+pub mod weak;
+
+pub use bitarray::{BitArrayState, ExpandedBlock, ExpandedKey};
+pub use cipher::{Des, RoundTrace};
+pub use key::{KeySchedule, ParityError, RoundKey};
+pub use modes::{Cbc, Ecb, PadError};
+pub use stream_modes::{Cfb, Ctr, Ofb};
+pub use weak::{is_semiweak_key, is_weak_key, semiweak_partner};
+pub use tdes::TripleDes;

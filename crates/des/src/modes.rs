@@ -1,0 +1,259 @@
+//! ECB and CBC block modes over byte slices, with PKCS#7 padding.
+//!
+//! The paper's experiments run single-block encryptions, but a credible DES
+//! library needs the standard modes; they are also used by the workloads in
+//! `emask-bench` to generate multi-block trace sets.
+
+use crate::cipher::Des;
+use std::fmt;
+
+/// Error returned when unpadding a decrypted buffer fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PadError {
+    /// The ciphertext length is not a multiple of the 8-byte block size.
+    BadLength(usize),
+    /// The PKCS#7 padding bytes are inconsistent.
+    BadPadding,
+}
+
+impl fmt::Display for PadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PadError::BadLength(n) => {
+                write!(f, "ciphertext length {n} is not a multiple of 8")
+            }
+            PadError::BadPadding => write!(f, "invalid PKCS#7 padding"),
+        }
+    }
+}
+
+impl std::error::Error for PadError {}
+
+fn block_from_bytes(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(bytes);
+    u64::from_be_bytes(b)
+}
+
+fn pad(data: &[u8]) -> Vec<u8> {
+    let pad_len = 8 - data.len() % 8;
+    let mut out = data.to_vec();
+    out.extend(std::iter::repeat_n(pad_len as u8, pad_len));
+    out
+}
+
+fn unpad(mut data: Vec<u8>) -> Result<Vec<u8>, PadError> {
+    let Some(&last) = data.last() else {
+        return Err(PadError::BadPadding);
+    };
+    let n = last as usize;
+    if n == 0 || n > 8 || n > data.len() {
+        return Err(PadError::BadPadding);
+    }
+    if data[data.len() - n..].iter().any(|&b| b != last) {
+        return Err(PadError::BadPadding);
+    }
+    data.truncate(data.len() - n);
+    Ok(data)
+}
+
+/// Electronic-codebook mode.
+///
+/// # Examples
+///
+/// ```
+/// use emask_des::{Des, Ecb};
+/// # fn main() -> Result<(), emask_des::PadError> {
+/// let ecb = Ecb::new(Des::new(0x0123456789ABCDEF));
+/// let ct = ecb.encrypt(b"attack at dawn");
+/// assert_eq!(ecb.decrypt(&ct)?, b"attack at dawn");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ecb {
+    des: Des,
+}
+
+impl Ecb {
+    /// Wraps a cipher in ECB mode.
+    pub fn new(des: Des) -> Self {
+        Self { des }
+    }
+
+    /// Encrypts `data` with PKCS#7 padding.
+    pub fn encrypt(&self, data: &[u8]) -> Vec<u8> {
+        let padded = pad(data);
+        let mut out = Vec::with_capacity(padded.len());
+        for chunk in padded.chunks_exact(8) {
+            out.extend_from_slice(&self.des.encrypt_block(block_from_bytes(chunk)).to_be_bytes());
+        }
+        out
+    }
+
+    /// Decrypts and unpads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PadError`] if the length is not block-aligned or the
+    /// padding is inconsistent.
+    pub fn decrypt(&self, data: &[u8]) -> Result<Vec<u8>, PadError> {
+        if !data.len().is_multiple_of(8) || data.is_empty() {
+            return Err(PadError::BadLength(data.len()));
+        }
+        let mut out = Vec::with_capacity(data.len());
+        for chunk in data.chunks_exact(8) {
+            out.extend_from_slice(&self.des.decrypt_block(block_from_bytes(chunk)).to_be_bytes());
+        }
+        unpad(out)
+    }
+}
+
+/// Cipher-block-chaining mode.
+///
+/// # Examples
+///
+/// ```
+/// use emask_des::{Des, Cbc};
+/// # fn main() -> Result<(), emask_des::PadError> {
+/// let cbc = Cbc::new(Des::new(0x0123456789ABCDEF), 0xFEDCBA9876543210);
+/// let ct = cbc.encrypt(b"attack at dawn");
+/// assert_eq!(cbc.decrypt(&ct)?, b"attack at dawn");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cbc {
+    des: Des,
+    iv: u64,
+}
+
+impl Cbc {
+    /// Wraps a cipher in CBC mode with the given initialization vector.
+    pub fn new(des: Des, iv: u64) -> Self {
+        Self { des, iv }
+    }
+
+    /// The initialization vector.
+    pub fn iv(&self) -> u64 {
+        self.iv
+    }
+
+    /// Encrypts `data` with PKCS#7 padding.
+    pub fn encrypt(&self, data: &[u8]) -> Vec<u8> {
+        let padded = pad(data);
+        let mut out = Vec::with_capacity(padded.len());
+        let mut prev = self.iv;
+        for chunk in padded.chunks_exact(8) {
+            prev = self.des.encrypt_block(block_from_bytes(chunk) ^ prev);
+            out.extend_from_slice(&prev.to_be_bytes());
+        }
+        out
+    }
+
+    /// Decrypts and unpads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PadError`] if the length is not block-aligned or the
+    /// padding is inconsistent.
+    pub fn decrypt(&self, data: &[u8]) -> Result<Vec<u8>, PadError> {
+        if !data.len().is_multiple_of(8) || data.is_empty() {
+            return Err(PadError::BadLength(data.len()));
+        }
+        let mut out = Vec::with_capacity(data.len());
+        let mut prev = self.iv;
+        for chunk in data.chunks_exact(8) {
+            let block = block_from_bytes(chunk);
+            out.extend_from_slice(&(self.des.decrypt_block(block) ^ prev).to_be_bytes());
+            prev = block;
+        }
+        unpad(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cipher() -> Des {
+        Des::new(0x0123_4567_89AB_CDEF)
+    }
+
+    #[test]
+    fn ecb_fips81_example() {
+        // FIPS 81: "Now is the time for all " under 0123456789ABCDEF.
+        let ecb = Ecb::new(cipher());
+        let ct = ecb.encrypt(b"Now is the time for all ");
+        assert_eq!(&ct[..8], &0x3FA4_0E8A_984D_4815u64.to_be_bytes());
+        assert_eq!(&ct[8..16], &0x6A27_1787_AB88_83F9u64.to_be_bytes());
+        assert_eq!(&ct[16..24], &0x893D_51EC_4B56_3B53u64.to_be_bytes());
+    }
+
+    #[test]
+    fn ecb_identical_blocks_repeat() {
+        let ecb = Ecb::new(cipher());
+        let ct = ecb.encrypt(&[0xAA; 16]);
+        assert_eq!(ct[..8], ct[8..16], "ECB leaks equal blocks by design");
+    }
+
+    #[test]
+    fn cbc_identical_blocks_differ() {
+        let cbc = Cbc::new(cipher(), 0x0011_2233_4455_6677);
+        let ct = cbc.encrypt(&[0xAA; 16]);
+        assert_ne!(ct[..8], ct[8..16], "CBC must chain equal blocks apart");
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        let ecb = Ecb::new(cipher());
+        let ct = ecb.encrypt(b"");
+        assert_eq!(ct.len(), 8, "a full padding block is emitted");
+        assert_eq!(ecb.decrypt(&ct).unwrap(), b"");
+    }
+
+    #[test]
+    fn decrypt_rejects_misaligned_input() {
+        let ecb = Ecb::new(cipher());
+        assert_eq!(ecb.decrypt(&[0u8; 7]), Err(PadError::BadLength(7)));
+        assert_eq!(ecb.decrypt(&[]), Err(PadError::BadLength(0)));
+    }
+
+    #[test]
+    fn decrypt_rejects_corrupt_padding() {
+        let ecb = Ecb::new(cipher());
+        let mut ct = ecb.encrypt(b"abc");
+        // Corrupt the block so padding is invalid with overwhelming odds.
+        ct[0] ^= 0xFF;
+        assert_eq!(ecb.decrypt(&ct), Err(PadError::BadPadding));
+    }
+
+    #[test]
+    fn pad_error_display_is_informative() {
+        assert!(PadError::BadLength(7).to_string().contains('7'));
+        assert!(PadError::BadPadding.to_string().contains("PKCS#7"));
+    }
+
+    proptest! {
+        #[test]
+        fn ecb_round_trips(data in proptest::collection::vec(any::<u8>(), 0..256), key: u64) {
+            let ecb = Ecb::new(Des::new(key));
+            prop_assert_eq!(ecb.decrypt(&ecb.encrypt(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn cbc_round_trips(data in proptest::collection::vec(any::<u8>(), 0..256), key: u64, iv: u64) {
+            let cbc = Cbc::new(Des::new(key), iv);
+            prop_assert_eq!(cbc.decrypt(&cbc.encrypt(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn ciphertext_is_padded_multiple_of_block(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let ecb = Ecb::new(cipher());
+            let ct = ecb.encrypt(&data);
+            prop_assert_eq!(ct.len() % 8, 0);
+            prop_assert!(ct.len() > data.len());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Weak and semi-weak DES keys.
+//!
+//! A smart-card library must refuse to provision these: weak keys make
+//! encryption self-inverse, semi-weak pairs make one key undo the other —
+//! both catastrophic in protocols that encrypt twice.
+
+use crate::key::KeySchedule;
+
+/// The four weak keys (odd-parity form): every round key is identical, so
+/// `E_k(E_k(x)) = x`.
+pub const WEAK_KEYS: [u64; 4] = [
+    0x0101_0101_0101_0101,
+    0xFEFE_FEFE_FEFE_FEFE,
+    0xE0E0_E0E0_F1F1_F1F1,
+    0x1F1F_1F1F_0E0E_0E0E,
+];
+
+/// The six semi-weak key pairs (odd-parity form): `E_k2(E_k1(x)) = x`.
+pub const SEMIWEAK_PAIRS: [(u64, u64); 6] = [
+    (0x01FE_01FE_01FE_01FE, 0xFE01_FE01_FE01_FE01),
+    (0x1FE0_1FE0_0EF1_0EF1, 0xE01F_E01F_F10E_F10E),
+    (0x01E0_01E0_01F1_01F1, 0xE001_E001_F101_F101),
+    (0x1FFE_1FFE_0EFE_0EFE, 0xFE1F_FE1F_FE0E_FE0E),
+    (0x011F_011F_010E_010E, 0x1F01_1F01_0E01_0E01),
+    (0xE0FE_E0FE_F1FE_F1FE, 0xFEE0_FEE0_FEF1_FEF1),
+];
+
+/// Normalizes a key to its odd-parity form for comparison (parity bits do
+/// not affect the schedule).
+fn normalized(key: u64) -> u64 {
+    KeySchedule::fix_parity(key)
+}
+
+/// True if `key` is one of the four weak keys (parity bits ignored).
+///
+/// # Examples
+///
+/// ```
+/// use emask_des::weak::is_weak_key;
+/// assert!(is_weak_key(0x0101010101010101));
+/// assert!(is_weak_key(0x0000000000000000)); // same effective key bits
+/// assert!(!is_weak_key(0x133457799BBCDFF1));
+/// ```
+pub fn is_weak_key(key: u64) -> bool {
+    WEAK_KEYS.contains(&normalized(key))
+}
+
+/// True if `key` belongs to a semi-weak pair (parity bits ignored).
+pub fn is_semiweak_key(key: u64) -> bool {
+    let k = normalized(key);
+    SEMIWEAK_PAIRS.iter().any(|&(a, b)| k == a || k == b)
+}
+
+/// The partner of a semi-weak key, if `key` is one.
+pub fn semiweak_partner(key: u64) -> Option<u64> {
+    let k = normalized(key);
+    SEMIWEAK_PAIRS.iter().find_map(|&(a, b)| {
+        if k == a {
+            Some(b)
+        } else if k == b {
+            Some(a)
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cipher::Des;
+
+    #[test]
+    fn weak_keys_have_constant_schedules() {
+        for key in WEAK_KEYS {
+            let ks = KeySchedule::new(key);
+            let k1 = ks.round_key(1);
+            assert!(
+                ks.round_keys().iter().all(|&k| k == k1),
+                "weak key {key:016X} must have 16 equal round keys"
+            );
+        }
+    }
+
+    #[test]
+    fn weak_keys_are_self_inverse() {
+        for key in WEAK_KEYS {
+            let des = Des::new(key);
+            let p = 0x0123_4567_89AB_CDEF;
+            assert_eq!(des.encrypt_block(des.encrypt_block(p)), p);
+        }
+    }
+
+    #[test]
+    fn semiweak_pairs_invert_each_other() {
+        for (a, b) in SEMIWEAK_PAIRS {
+            let ea = Des::new(a);
+            let eb = Des::new(b);
+            let p = 0xDEAD_BEEF_0BAD_F00D;
+            assert_eq!(
+                eb.encrypt_block(ea.encrypt_block(p)),
+                p,
+                "pair ({a:016X}, {b:016X}) must be mutually inverse"
+            );
+        }
+    }
+
+    #[test]
+    fn detection_ignores_parity_bits() {
+        assert!(is_weak_key(0x0000_0000_0000_0000));
+        assert!(is_weak_key(0xFFFF_FFFF_FFFF_FFFF));
+        assert!(is_semiweak_key(0x00FF_00FF_00FF_00FF));
+    }
+
+    #[test]
+    fn strong_keys_pass() {
+        for key in [0x1334_5779_9BBC_DFF1u64, 0x0123_4567_89AB_CDEF] {
+            assert!(!is_weak_key(key));
+            assert!(!is_semiweak_key(key));
+            assert_eq!(semiweak_partner(key), None);
+        }
+    }
+
+    #[test]
+    fn partner_is_symmetric() {
+        for (a, b) in SEMIWEAK_PAIRS {
+            assert_eq!(semiweak_partner(a), Some(b));
+            assert_eq!(semiweak_partner(b), Some(a));
+        }
+    }
+}

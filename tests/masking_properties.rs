@@ -1,0 +1,147 @@
+//! The security properties the paper claims, tested end to end against
+//! the cycle-accurate simulator: masked runs are energy-indistinguishable
+//! in every secure region, for many random key pairs, while unmasked runs
+//! leak.
+
+use emask::core::desgen::DesProgramSpec;
+use emask::{MaskPolicy, MaskedDes, Phase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PLAINTEXT: u64 = 0x0123_4567_89AB_CDEF;
+
+/// Max |ΔE| between two keys over the secure region (key permutation
+/// through the last round).
+fn key_leak(des: &MaskedDes, k1: u64, k2: u64) -> f64 {
+    let a = des.encrypt(PLAINTEXT, k1).expect("run");
+    let b = des.encrypt(PLAINTEXT, k2).expect("run");
+    let start = a.phase_window(Phase::KeyPermutation).expect("kp").start;
+    let end = a
+        .phase_window(Phase::Round(des.rounds() as u8))
+        .expect("last round")
+        .end;
+    a.trace.window(start..end).diff(&b.trace.window(start..end)).max_abs()
+}
+
+#[test]
+fn masked_runs_are_key_indistinguishable_for_random_key_pairs() {
+    let des = MaskedDes::compile_spec(MaskPolicy::Selective, &DesProgramSpec { rounds: 2 })
+        .expect("compile");
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..6 {
+        let k1: u64 = rng.gen();
+        let k2: u64 = rng.gen();
+        let leak = key_leak(&des, k1, k2);
+        assert!(leak < 1e-9, "pair {i}: masked leak {leak} pJ for {k1:016X}/{k2:016X}");
+    }
+}
+
+#[test]
+fn masked_runs_are_key_indistinguishable_for_single_bit_flips() {
+    // Single-bit key differences are the paper's Figures 8/9 setting and
+    // the hardest case (smallest physical difference).
+    let des = MaskedDes::compile_spec(MaskPolicy::Selective, &DesProgramSpec { rounds: 2 })
+        .expect("compile");
+    let base = 0x1334_5779_9BBC_DFF1u64;
+    for bit in [0u32, 17, 33, 62] {
+        let leak = key_leak(&des, base, base ^ (1 << bit));
+        assert!(leak < 1e-9, "bit {bit}: masked leak {leak} pJ");
+    }
+}
+
+#[test]
+fn unmasked_runs_leak_every_single_key_bit() {
+    // Every effective (non-parity) key bit must be visible to a
+    // differential measurement on the unmasked device — this is what
+    // makes DPA possible at all.
+    let des = MaskedDes::compile_spec(MaskPolicy::None, &DesProgramSpec { rounds: 1 })
+        .expect("compile");
+    let base = 0x1334_5779_9BBC_DFF1u64;
+    for pos in [1u32, 2, 9, 30, 47, 63] {
+        // pos is the 1-based MSB-first key bit index; skip parity bits.
+        assert_ne!(pos % 8, 0);
+        let flipped = base ^ (1u64 << (64 - pos));
+        let leak = key_leak(&des, base, flipped);
+        assert!(leak > 0.5, "key bit {pos} invisible on unmasked device ({leak} pJ)");
+    }
+}
+
+#[test]
+fn parity_bits_do_not_leak_even_unmasked() {
+    // Parity bits never enter the computation (PC-1 drops them), so even
+    // the unmasked device shows nothing — but only after the key loads
+    // themselves, which do touch all 64 stored bits. Measure from round 1.
+    let des = MaskedDes::compile_spec(MaskPolicy::None, &DesProgramSpec { rounds: 1 })
+        .expect("compile");
+    let base = 0x1334_5779_9BBC_DFF1u64;
+    let flipped = base ^ (1u64 << (64 - 8)); // key bit 8 = first parity bit
+    let a = des.encrypt(PLAINTEXT, base).expect("run");
+    let b = des.encrypt(PLAINTEXT, flipped).expect("run");
+    let w = a.phase_window(Phase::Round(1)).expect("round 1");
+    let leak = a.trace.window(w.clone()).diff(&b.trace.window(w)).max_abs();
+    assert!(leak < 1e-9, "parity bit influenced round energy: {leak} pJ");
+}
+
+#[test]
+fn all_policies_but_none_protect_the_rounds() {
+    let base = 0x1334_5779_9BBC_DFF1u64;
+    for policy in
+        [MaskPolicy::Selective, MaskPolicy::AllLoadsStores, MaskPolicy::AllInstructions]
+    {
+        let des = MaskedDes::compile_spec(policy, &DesProgramSpec { rounds: 2 })
+            .expect("compile");
+        let a = des.encrypt(PLAINTEXT, base).expect("run");
+        let b = des.encrypt(PLAINTEXT, base ^ (1 << 62)).expect("run");
+        let w = a.phase_window(Phase::Round(1)).expect("round 1");
+        let leak = a.trace.window(w.clone()).diff(&b.trace.window(w)).max_abs();
+        if policy == MaskPolicy::AllLoadsStores {
+            // Loads/stores alone leave ALU/latch traffic exposed: the
+            // naive policy is *more expensive* yet still leaks a little —
+            // an observation the paper's selective approach sidesteps by
+            // construction (it secures every tainted instruction).
+            continue;
+        }
+        assert!(leak < 1e-9, "{policy}: round-1 leak {leak} pJ");
+    }
+}
+
+#[test]
+fn all_loads_stores_policy_still_leaks_through_the_alu() {
+    // The quantitative version of the note above: securing every load and
+    // store without compiler analysis leaves the xor/shift datapath
+    // unprotected.
+    let des = MaskedDes::compile_spec(MaskPolicy::AllLoadsStores, &DesProgramSpec { rounds: 2 })
+        .expect("compile");
+    let base = 0x1334_5779_9BBC_DFF1u64;
+    let a = des.encrypt(PLAINTEXT, base).expect("run");
+    let b = des.encrypt(PLAINTEXT, base ^ (1 << 62)).expect("run");
+    let w = a.phase_window(Phase::Round(1)).expect("round 1");
+    let leak = a.trace.window(w.clone()).diff(&b.trace.window(w)).max_abs();
+    assert!(leak > 0.1, "expected residual ALU leak, got {leak} pJ");
+}
+
+#[test]
+fn masking_never_changes_timing() {
+    // Constant cycle count across policies — energy masking must not
+    // introduce the very timing channel it defends against.
+    let cycle_counts: Vec<u64> = [
+        MaskPolicy::None,
+        MaskPolicy::Selective,
+        MaskPolicy::AllLoadsStores,
+        MaskPolicy::AllInstructions,
+    ]
+    .iter()
+    .map(|&p| {
+        MaskedDes::compile_spec(p, &DesProgramSpec { rounds: 2 })
+            .expect("compile")
+            .encrypt(PLAINTEXT, 0x1334_5779_9BBC_DFF1)
+            .expect("run")
+            .stats
+            .cycles
+    })
+    .collect();
+    assert!(
+        cycle_counts.windows(2).all(|w| w[0] == w[1]),
+        "cycle counts differ across policies: {cycle_counts:?}"
+    );
+}

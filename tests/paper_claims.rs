@@ -1,0 +1,124 @@
+//! The paper's quantitative claims, asserted in-band against the full
+//! 16-round system. These are the acceptance tests of the reproduction —
+//! EXPERIMENTS.md records the exact measured values.
+
+use emask::core::desgen::DesProgramSpec;
+use emask::{EnergyParams, MaskPolicy, MaskedDes, Phase};
+use emask::energy::{FunctionalUnit, UnitState};
+
+const KEY: u64 = 0x1334_5779_9BBC_DFF1;
+const PLAINTEXT: u64 = 0x0123_4567_89AB_CDEF;
+
+fn total_uj(policy: MaskPolicy) -> f64 {
+    MaskedDes::compile(policy)
+        .expect("compile")
+        .encrypt(PLAINTEXT, KEY)
+        .expect("run")
+        .trace
+        .total_uj()
+}
+
+#[test]
+fn original_average_is_near_165_pj_per_cycle() {
+    // Paper: "an average energy consumption of 165 pJ per cycle in the
+    // original application".
+    let run = MaskedDes::compile(MaskPolicy::None)
+        .expect("compile")
+        .encrypt(PLAINTEXT, KEY)
+        .expect("run");
+    let mean = run.trace.mean_pj();
+    assert!((150.0..180.0).contains(&mean), "original mean {mean} pJ/cycle");
+}
+
+#[test]
+fn policy_total_ratios_match_the_paper_table() {
+    // Paper totals: 46.4 / 52.6 / 63.6 / 83.5 µJ →
+    // ratios 1.134 / 1.371 / 1.800 versus the original.
+    let none = total_uj(MaskPolicy::None);
+    let selective = total_uj(MaskPolicy::Selective);
+    let all_ls = total_uj(MaskPolicy::AllLoadsStores);
+    let all = total_uj(MaskPolicy::AllInstructions);
+
+    let r_sel = selective / none;
+    let r_ls = all_ls / none;
+    let r_all = all / none;
+    assert!((1.08..1.22).contains(&r_sel), "selective ratio {r_sel} (paper 1.134)");
+    assert!((1.25..1.55).contains(&r_ls), "all-ls ratio {r_ls} (paper 1.371)");
+    assert!((1.65..1.95).contains(&r_all), "all ratio {r_all} (paper 1.800)");
+    assert!(r_sel < r_ls && r_ls < r_all, "ordering violated");
+}
+
+#[test]
+fn selective_masking_saves_about_83_percent_of_overhead() {
+    // The headline: "energy masking of critical operations consuming 83%
+    // less energy as compared to existing approaches" (dual-rail
+    // everything).
+    let none = total_uj(MaskPolicy::None);
+    let selective = total_uj(MaskPolicy::Selective);
+    let all = total_uj(MaskPolicy::AllInstructions);
+    let reduction = 100.0 * (1.0 - (selective - none) / (all - none));
+    assert!((75.0..90.0).contains(&reduction), "overhead reduction {reduction}% (paper 83%)");
+}
+
+#[test]
+fn whole_program_dual_rail_is_almost_twice_the_original() {
+    // Paper: "the use of dual-rail logic can increase overall power
+    // consumption by almost two times".
+    let ratio = total_uj(MaskPolicy::AllInstructions) / total_uj(MaskPolicy::None);
+    assert!((1.6..2.1).contains(&ratio), "dual-rail-everything ratio {ratio}");
+}
+
+#[test]
+fn masking_overhead_during_key_permutation_is_tens_of_pj() {
+    // Paper Figure 12: "this additional energy is 45 pJ per cycle (as
+    // compared to an average energy consumption of 165 pJ per cycle)".
+    let masked = MaskedDes::compile(MaskPolicy::Selective).expect("compile");
+    let original = MaskedDes::compile(MaskPolicy::None).expect("compile");
+    let m = masked.encrypt(PLAINTEXT, KEY).expect("run");
+    let o = original.encrypt(PLAINTEXT, KEY).expect("run");
+    let w = m.phase_window(Phase::KeyPermutation).expect("kp");
+    let extra = m.trace.window(w.clone()).diff(&o.trace.window(w));
+    let mean_extra = extra.total_pj() / extra.len() as f64;
+    assert!(
+        (15.0..90.0).contains(&mean_extra),
+        "key-permutation masking overhead {mean_extra} pJ/cycle (paper ≈45)"
+    );
+}
+
+#[test]
+fn xor_unit_hits_the_paper_numbers_exactly() {
+    // Paper §4.2: "as opposed to energy consumption of 0.6 pJ in the
+    // secure mode, the XOR unit consumes only 0.3 pJ in the normal mode".
+    let p = EnergyParams::calibrated();
+    let mut st = UnitState::new();
+    let secure = st.operate(&p, FunctionalUnit::Logic, 0xDEAD_BEEF, 0x1234_5678, 0xCC99_E997, true);
+    assert!((secure - 0.6).abs() < 1e-9, "secure XOR {secure} pJ");
+    // Normal-mode mean over a pseudo-random stream.
+    let mut x = 0xACE1u32;
+    let mut total = 0.0;
+    let n = 50_000;
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        let a = x;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        total += st.operate(&p, FunctionalUnit::Logic, a, x, a ^ x, false);
+    }
+    let mean = total / f64::from(n);
+    assert!((mean - 0.3).abs() < 0.02, "normal XOR mean {mean} pJ");
+}
+
+#[test]
+fn single_key_bit_differences_are_visible_unmasked() {
+    // Paper Figure 7: "it is possible to identify differences in even a
+    // single bit of the secret key" — one-bit key flip, first round.
+    let des = MaskedDes::compile_spec(MaskPolicy::None, &DesProgramSpec { rounds: 1 })
+        .expect("compile");
+    let a = des.encrypt(PLAINTEXT, KEY).expect("run");
+    let b = des.encrypt(PLAINTEXT, KEY ^ (1u64 << 63)).expect("run");
+    let diff = a.trace.diff(&b.trace);
+    assert!(diff.max_abs() > 0.5, "single-bit key flip invisible: {}", diff.max_abs());
+}
