@@ -9,6 +9,7 @@
 //! crate brings it to bear on the simulator too.
 
 use crate::dpa::selection_bit;
+use crate::progress::AttackProgress;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -48,9 +49,7 @@ impl fmt::Display for CpaResult {
         write!(
             f,
             "CPA: best guess {:#04X} (|r| = {:.3}, margin {:.2}x)",
-            self.best_guess,
-            self.peaks[self.best_guess as usize],
-            self.margin
+            self.best_guess, self.peaks[self.best_guess as usize], self.margin
         )
     }
 }
@@ -62,9 +61,7 @@ impl fmt::Display for CpaResult {
 ///
 /// Panics if `sbox >= 8` or `guess >= 64`.
 pub fn predicted_hamming_weight(plaintext: u64, guess: u8, sbox: usize) -> u32 {
-    (0..4)
-        .map(|bit| u32::from(selection_bit(plaintext, guess, sbox, bit)))
-        .sum()
+    (0..4).map(|bit| u32::from(selection_bit(plaintext, guess, sbox, bit))).sum()
 }
 
 /// Runs a CPA campaign against a trace oracle.
@@ -72,15 +69,38 @@ pub fn predicted_hamming_weight(plaintext: u64, guess: u8, sbox: usize) -> u32 {
 /// # Panics
 ///
 /// Panics if `cfg.samples < 2` or `cfg.sbox >= 8`.
-pub fn cpa_recover_subkey<F>(mut oracle: F, cfg: &CpaConfig) -> CpaResult
+pub fn cpa_recover_subkey<F>(oracle: F, cfg: &CpaConfig) -> CpaResult
 where
     F: FnMut(u64) -> Vec<f64>,
+{
+    cpa_recover_subkey_with(oracle, cfg, &mut ())
+}
+
+/// [`cpa_recover_subkey`] with progress reporting: per-trace collection,
+/// the peak |Pearson r| of every guess, and the final verdict — the
+/// correlation-convergence feed for long campaigns.
+///
+/// # Panics
+///
+/// As for [`cpa_recover_subkey`].
+pub fn cpa_recover_subkey_with<F, P>(mut oracle: F, cfg: &CpaConfig, progress: &mut P) -> CpaResult
+where
+    F: FnMut(u64) -> Vec<f64>,
+    P: AttackProgress,
 {
     assert!(cfg.samples >= 2, "correlation needs at least two samples");
     assert!(cfg.sbox < 8);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let plaintexts: Vec<u64> = (0..cfg.samples).map(|_| rng.gen()).collect();
-    let traces: Vec<Vec<f64>> = plaintexts.iter().map(|&p| oracle(p)).collect();
+    let traces: Vec<Vec<f64>> = plaintexts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let t = oracle(p);
+            progress.on_trace(i, cfg.samples, t.len());
+            t
+        })
+        .collect();
     let width = traces.first().map(Vec::len).unwrap_or(0);
     let n = cfg.samples as f64;
 
@@ -105,7 +125,8 @@ where
         let sum_h2: f64 = hw.iter().map(|h| h * h).sum();
         let var_h = sum_h2 - sum_h * sum_h / n;
         if var_h < 1e-12 {
-            continue; // degenerate model (all predictions equal)
+            progress.on_guess(guess, 0.0, 0); // degenerate model (all predictions equal)
+            continue;
         }
         let mut best = (0usize, 0.0f64);
         let mut sum_ht = vec![0.0; width];
@@ -127,6 +148,7 @@ where
         }
         peaks[guess as usize] = best.1;
         peak_cycles[guess as usize] = best.0;
+        progress.on_guess(guess, best.1, best.0);
     }
 
     let best_guess = (0..64).max_by(|&a, &b| peaks[a].total_cmp(&peaks[b])).unwrap_or(0) as u8;
@@ -137,8 +159,14 @@ where
         .filter(|&(i, _)| i != best_guess as usize)
         .map(|(_, &v)| v)
         .fold(0.0f64, f64::max);
-    let margin =
-        if second > 1e-12 { best / second } else if best > 1e-12 { f64::INFINITY } else { 1.0 };
+    let margin = if second > 1e-12 {
+        best / second
+    } else if best > 1e-12 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
+    progress.on_complete(best_guess, margin);
     CpaResult { peaks, peak_cycles, best_guess, margin }
 }
 

@@ -9,6 +9,7 @@
 //! decorrelate and flatten; a masked implementation flattens *every*
 //! guess.
 
+use crate::progress::AttackProgress;
 use crate::stats::{difference_of_means, peak, TraceMatrix};
 use emask_des::bits::permute;
 use emask_des::cipher::sbox_lookup;
@@ -63,9 +64,7 @@ impl fmt::Display for DpaResult {
         write!(
             f,
             "DPA: best guess {:#04X} (peak {:.2} pJ, margin {:.2}x)",
-            self.best_guess,
-            self.peaks[self.best_guess as usize],
-            self.margin
+            self.best_guess, self.peaks[self.best_guess as usize], self.margin
         )
     }
 }
@@ -95,18 +94,42 @@ pub fn selection_bit(plaintext: u64, guess: u8, sbox: usize, bit: usize) -> bool
 /// # Panics
 ///
 /// Panics if `samples == 0`.
-pub fn collect_traces<F>(
+pub fn collect_traces<F>(oracle: F, samples: usize, seed: u64) -> (Vec<u64>, Vec<Vec<f64>>)
+where
+    F: FnMut(u64) -> Vec<f64>,
+{
+    collect_traces_with(oracle, samples, seed, &mut ())
+}
+
+/// [`collect_traces`] with per-trace progress reporting:
+/// [`AttackProgress::on_trace`] fires as each trace lands — the campaign's
+/// dominant cost against the cycle-accurate simulator.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn collect_traces_with<F, P>(
     mut oracle: F,
     samples: usize,
     seed: u64,
+    progress: &mut P,
 ) -> (Vec<u64>, Vec<Vec<f64>>)
 where
     F: FnMut(u64) -> Vec<f64>,
+    P: AttackProgress,
 {
     assert!(samples > 0, "need at least one sample");
     let mut rng = StdRng::seed_from_u64(seed);
     let plaintexts: Vec<u64> = (0..samples).map(|_| rng.gen()).collect();
-    let traces: Vec<Vec<f64>> = plaintexts.iter().map(|&p| oracle(p)).collect();
+    let traces: Vec<Vec<f64>> = plaintexts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let t = oracle(p);
+            progress.on_trace(i, samples, t.len());
+            t
+        })
+        .collect();
     (plaintexts, traces)
 }
 
@@ -152,7 +175,13 @@ fn result_from_peaks(peaks: [f64; 64], peak_cycles: [usize; 64]) -> DpaResult {
         .filter(|&(i, _)| i != best_guess as usize)
         .map(|(_, &v)| v)
         .fold(0.0f64, f64::max);
-    let margin = if second > 1e-12 { best / second } else if best > 1e-12 { f64::INFINITY } else { 1.0 };
+    let margin = if second > 1e-12 {
+        best / second
+    } else if best > 1e-12 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
     DpaResult { peaks, peak_cycles, best_guess, margin }
 }
 
@@ -166,9 +195,28 @@ pub fn recover_subkey<F>(oracle: F, cfg: &DpaConfig) -> DpaResult
 where
     F: FnMut(u64) -> Vec<f64>,
 {
-    let (plaintexts, traces) = collect_traces(oracle, cfg.samples, cfg.seed);
+    recover_subkey_with(oracle, cfg, &mut ())
+}
+
+/// [`recover_subkey`] with progress reporting: per-trace collection,
+/// per-guess difference-of-means peaks, and the final verdict.
+///
+/// # Panics
+///
+/// As for [`recover_subkey`].
+pub fn recover_subkey_with<F, P>(oracle: F, cfg: &DpaConfig, progress: &mut P) -> DpaResult
+where
+    F: FnMut(u64) -> Vec<f64>,
+    P: AttackProgress,
+{
+    let (plaintexts, traces) = collect_traces_with(oracle, cfg.samples, cfg.seed, progress);
     let (peaks, cycles) = analyze_bit(&plaintexts, &traces, cfg.sbox, cfg.bit);
-    result_from_peaks(peaks, cycles)
+    for g in 0..64 {
+        progress.on_guess(g as u8, peaks[g], cycles[g]);
+    }
+    let result = result_from_peaks(peaks, cycles);
+    progress.on_complete(result.best_guess, result.margin);
+    result
 }
 
 /// Multi-bit DPA: aggregates the difference-of-means peaks of **all four**
@@ -184,7 +232,21 @@ pub fn recover_subkey_multibit<F>(oracle: F, cfg: &DpaConfig) -> DpaResult
 where
     F: FnMut(u64) -> Vec<f64>,
 {
-    let (plaintexts, traces) = collect_traces(oracle, cfg.samples, cfg.seed);
+    recover_subkey_multibit_with(oracle, cfg, &mut ())
+}
+
+/// [`recover_subkey_multibit`] with progress reporting; per-guess events
+/// carry the four-bit aggregate peak.
+///
+/// # Panics
+///
+/// As for [`recover_subkey`].
+pub fn recover_subkey_multibit_with<F, P>(oracle: F, cfg: &DpaConfig, progress: &mut P) -> DpaResult
+where
+    F: FnMut(u64) -> Vec<f64>,
+    P: AttackProgress,
+{
+    let (plaintexts, traces) = collect_traces_with(oracle, cfg.samples, cfg.seed, progress);
     let mut peaks = [0.0f64; 64];
     let mut peak_cycles = [0usize; 64];
     for bit in 0..4 {
@@ -196,7 +258,12 @@ where
             }
         }
     }
-    result_from_peaks(peaks, peak_cycles)
+    for g in 0..64 {
+        progress.on_guess(g as u8, peaks[g], peak_cycles[g]);
+    }
+    let result = result_from_peaks(peaks, peak_cycles);
+    progress.on_complete(result.best_guess, result.margin);
+    result
 }
 
 #[cfg(test)]
@@ -284,7 +351,12 @@ mod tests {
             leaky_oracle(0, 0),
             &DpaConfig { samples: 800, sbox: 0, bit: 0, seed: 3 },
         );
-        assert!(large.margin >= small.margin * 0.8, "large {} small {}", large.margin, small.margin);
+        assert!(
+            large.margin >= small.margin * 0.8,
+            "large {} small {}",
+            large.margin,
+            small.margin
+        );
         assert!(large.margin > 1.5);
     }
 
@@ -293,6 +365,21 @@ mod tests {
         let cfg = DpaConfig { samples: 100, sbox: 0, bit: 0, seed: 9 };
         let r = recover_subkey(leaky_oracle(0, 0), &cfg);
         assert!(r.to_string().contains("best guess"));
+    }
+
+    #[test]
+    fn progress_counters_see_the_whole_campaign() {
+        use crate::progress::ProgressCounters;
+        let cfg = DpaConfig { samples: 50, sbox: 0, bit: 0, seed: 11 };
+        let mut prog = ProgressCounters::new();
+        let result = recover_subkey_with(leaky_oracle(0, 0), &cfg, &mut prog);
+        assert_eq!(prog.traces, 50);
+        assert_eq!(prog.trace_samples, 50 * 3);
+        assert_eq!(prog.guesses, 64);
+        assert_eq!(prog.outcome, Some((result.best_guess, result.margin)));
+        assert_eq!(prog.leader.map(|(g, _)| g), Some(result.best_guess));
+        // A genuine leak converges: far fewer lead changes than guesses.
+        assert!(prog.lead_changes < 64);
     }
 
     #[test]

@@ -28,10 +28,17 @@
 
 pub mod cpa;
 pub mod dpa;
+pub mod progress;
 pub mod spa;
 pub mod stats;
 
-pub use cpa::{cpa_recover_subkey, predicted_hamming_weight, CpaConfig, CpaResult};
-pub use dpa::{analyze_bit, collect_traces, recover_subkey, recover_subkey_multibit, selection_bit, DpaConfig, DpaResult};
+pub use cpa::{
+    cpa_recover_subkey, cpa_recover_subkey_with, predicted_hamming_weight, CpaConfig, CpaResult,
+};
+pub use dpa::{
+    analyze_bit, collect_traces, collect_traces_with, recover_subkey, recover_subkey_multibit,
+    recover_subkey_multibit_with, recover_subkey_with, selection_bit, DpaConfig, DpaResult,
+};
+pub use progress::{AttackProgress, ProgressCounters};
 pub use spa::{detect_rounds, SpaReport};
 pub use stats::{difference_of_means, mean_trace, welch_t, TraceMatrix};

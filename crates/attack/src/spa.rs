@@ -47,7 +47,8 @@ pub fn detect_rounds(
 ) -> SpaReport {
     assert!(bucket > 0, "bucket must be positive");
     assert!(min_rounds > 0 && min_rounds <= max_rounds, "bad round bounds");
-    let b: Vec<f64> = trace.chunks(bucket).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect();
+    let b: Vec<f64> =
+        trace.chunks(bucket).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect();
     let n = b.len();
     if n < 2 * min_rounds {
         return SpaReport { detected_rounds: 0, period: 0, score: 0.0 };

@@ -138,10 +138,13 @@ pub fn welch_t(g0: &TraceMatrix, g1: &TraceMatrix) -> Vec<f64> {
 
 /// Largest absolute value in a statistic trace, with its index.
 pub fn peak(stat: &[f64]) -> (usize, f64) {
-    stat.iter()
-        .enumerate()
-        .map(|(i, &v)| (i, v.abs()))
-        .fold((0, 0.0), |best, cur| if cur.1 > best.1 { cur } else { best })
+    stat.iter().enumerate().map(|(i, &v)| (i, v.abs())).fold((0, 0.0), |best, cur| {
+        if cur.1 > best.1 {
+            cur
+        } else {
+            best
+        }
+    })
 }
 
 #[cfg(test)]

@@ -51,9 +51,7 @@ fn bench_statistics(c: &mut Criterion) {
     g.bench_function("difference_of_means_128x512", |b| {
         b.iter(|| difference_of_means(black_box(&g0), black_box(&g1)))
     });
-    g.bench_function("welch_t_128x512", |b| {
-        b.iter(|| welch_t(black_box(&g0), black_box(&g1)))
-    });
+    g.bench_function("welch_t_128x512", |b| b.iter(|| welch_t(black_box(&g0), black_box(&g1))));
     g.finish();
 }
 

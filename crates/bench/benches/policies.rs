@@ -19,8 +19,7 @@ fn bench_encrypt_per_policy(c: &mut Criterion) {
     let mut g = c.benchmark_group("policy_encrypt_2r");
     g.sample_size(10);
     for policy in POLICIES {
-        let des = MaskedDes::compile_spec(policy, &DesProgramSpec { rounds: 2 })
-            .expect("compile");
+        let des = MaskedDes::compile_spec(policy, &DesProgramSpec { rounds: 2 }).expect("compile");
         g.bench_with_input(BenchmarkId::from_parameter(policy), &des, |b, des| {
             b.iter(|| des.encrypt(black_box(PLAINTEXT), black_box(KEY)).expect("run"))
         });

@@ -10,20 +10,56 @@
 //! EXPERIMENTS.md records the paper-vs-measured comparison.
 
 use emask_bench::experiments::{self, KEY, PLAINTEXT};
-use emask_core::{EnergyTrace, MaskPolicy};
+use emask_core::{
+    ChromeTrace, DesProgramSpec, EncryptionRun, EnergyTrace, MaskPolicy, MaskedDes, MetricsRegistry,
+};
+use emask_telemetry::{metrics_csv, summary};
 use std::env;
+use std::fs;
 use std::process::ExitCode;
+
+/// Every runnable experiment, as listed in `usage()`; `all` expands to the
+/// full sequence.
+const EXPERIMENTS: [&str; 17] = [
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table1",
+    "xor",
+    "spa",
+    "dpa",
+    "cpa",
+    "tvla",
+    "sweep",
+    "coupling",
+    "perclass",
+    "ablations",
+];
 
 struct Opts {
     rounds: usize,
     samples: usize,
     plot: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    summary: bool,
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut cmds: Vec<String> = Vec::new();
-    let mut opts = Opts { rounds: 16, samples: 128, plot: true };
+    let mut opts = Opts {
+        rounds: 16,
+        samples: 128,
+        plot: true,
+        trace_out: None,
+        metrics_out: None,
+        summary: false,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -36,20 +72,39 @@ fn main() -> ExitCode {
                 _ => return usage("--samples needs a positive value"),
             },
             "--no-plot" => opts.plot = false,
+            "--trace-out" => match it.next() {
+                Some(path) => opts.trace_out = Some(path.clone()),
+                None => return usage("--trace-out needs a file path"),
+            },
+            "--metrics-out" => match it.next() {
+                Some(path) => opts.metrics_out = Some(path.clone()),
+                None => return usage("--metrics-out needs a file path"),
+            },
+            "--summary" => opts.summary = true,
+            flag if flag.starts_with("--") => {
+                return usage(&format!("unknown flag `{flag}`"));
+            }
             _ => cmds.push(a.clone()),
         }
     }
-    if cmds.is_empty() {
+    let instrumented = opts.trace_out.is_some() || opts.metrics_out.is_some() || opts.summary;
+    if cmds.is_empty() && !instrumented {
         return usage("no experiment named");
     }
-    if cmds.iter().any(|c| c == "all") {
-        cmds = ["fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "table1", "xor",
-            "spa", "dpa", "cpa", "tvla", "sweep", "coupling", "perclass", "ablations"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    // Validate every named experiment before running anything, so a typo
+    // in the third name does not waste the first two experiments' work.
+    for cmd in &cmds {
+        if cmd != "all" && !EXPERIMENTS.contains(&cmd.as_str()) {
+            return usage(&format!("unknown experiment `{cmd}`"));
+        }
     }
-    println!("# emask repro — key {KEY:016X}, plaintext {PLAINTEXT:016X}, {} rounds\n", opts.rounds);
+    if cmds.iter().any(|c| c == "all") {
+        cmds = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    println!(
+        "# emask repro — key {KEY:016X}, plaintext {PLAINTEXT:016X}, {} rounds\n",
+        opts.rounds
+    );
     for cmd in &cmds {
         match cmd.as_str() {
             "fig6" => fig6(&opts),
@@ -68,9 +123,15 @@ fn main() -> ExitCode {
             "perclass" => perclass(&opts),
             "tvla" => tvla(&opts),
             "ablations" => ablations(&opts),
-            other => return usage(&format!("unknown experiment `{other}`")),
+            _ => unreachable!("validated above"),
         }
         println!();
+    }
+    if instrumented {
+        if let Err(e) = telemetry_run(&opts) {
+            eprintln!("error: telemetry run failed: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -78,10 +139,50 @@ fn main() -> ExitCode {
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [--rounds N] [--samples N] [--no-plot] \
-         <all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|xor|spa|dpa|cpa|tvla|sweep|ablations|coupling|perclass>..."
+        "usage: repro [--rounds N] [--samples N] [--no-plot] [--trace-out FILE] \
+         [--metrics-out FILE] [--summary] \
+         <all|{}>...",
+        EXPERIMENTS.join("|")
     );
+    eprintln!("  --rounds/--samples may be given more than once; the last value wins");
+    eprintln!("  --trace-out   write a Chrome trace-event JSON of one observed encryption");
+    eprintln!("  --metrics-out write per-phase x per-component energy CSV of that run");
+    eprintln!("  --summary     print the human-readable telemetry report of that run");
     ExitCode::FAILURE
+}
+
+/// Runs one selectively-masked encryption with the telemetry observers
+/// attached and writes/prints whatever `--trace-out`, `--metrics-out`,
+/// and `--summary` asked for.
+fn telemetry_run(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "== telemetry: one observed encryption (selective masking, {} rounds) ==",
+        opts.rounds
+    );
+    let des =
+        MaskedDes::compile_spec(MaskPolicy::Selective, &DesProgramSpec { rounds: opts.rounds })?;
+    let mut obs = (ChromeTrace::new(), MetricsRegistry::new());
+    let run: EncryptionRun = des.encrypt_observed(PLAINTEXT, KEY, &mut obs)?;
+    let (chrome, metrics) = obs;
+    let snapshot = metrics.snapshot();
+    println!(
+        "{} cycles, {:.2} µJ, ciphertext {:016X}",
+        run.stats.cycles,
+        run.trace.total_uj(),
+        run.ciphertext
+    );
+    if let Some(path) = &opts.trace_out {
+        fs::write(path, chrome.render())?;
+        println!("wrote Chrome trace-event JSON to {path} (open in chrome://tracing)");
+    }
+    if let Some(path) = &opts.metrics_out {
+        fs::write(path, metrics_csv(&snapshot))?;
+        println!("wrote per-phase metrics CSV to {path}");
+    }
+    if opts.summary {
+        print!("{}", summary(&snapshot));
+    }
+    Ok(())
 }
 
 fn plot(opts: &Opts, trace: &EnergyTrace) {
@@ -92,11 +193,8 @@ fn plot(opts: &Opts, trace: &EnergyTrace) {
 
 fn series(name: &str, values: &[f64], stride: usize) {
     println!("## series {name} (every {stride} values)");
-    let pts: Vec<String> = values
-        .iter()
-        .step_by(stride.max(1))
-        .map(|v| format!("{v:.2}"))
-        .collect();
+    let pts: Vec<String> =
+        values.iter().step_by(stride.max(1)).map(|v| format!("{v:.2}")).collect();
     println!("{}", pts.join(","));
 }
 
@@ -152,10 +250,7 @@ fn fig11(opts: &Opts) {
         "initial permutation: max |ΔE| = {:.2} pJ (insecure by design — public plaintext)",
         ip.max_abs()
     );
-    println!(
-        "round 1:             max |ΔE| = {:.6} pJ (secure region is clean)",
-        round1.max_abs()
-    );
+    println!("round 1:             max |ΔE| = {:.6} pJ (secure region is clean)", round1.max_abs());
 }
 
 fn fig12(opts: &Opts) {
@@ -211,7 +306,10 @@ fn dpa(opts: &Opts) {
 }
 
 fn cpa(opts: &Opts) {
-    println!("== CPA: Hamming-weight correlation, S-box 1, {} samples (extension) ==", opts.samples);
+    println!(
+        "== CPA: Hamming-weight correlation, S-box 1, {} samples (extension) ==",
+        opts.samples
+    );
     let rounds = opts.rounds.min(4);
     let unmasked = experiments::cpa_attack(MaskPolicy::None, rounds, opts.samples, 0);
     println!("before masking: {unmasked}");

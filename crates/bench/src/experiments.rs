@@ -4,16 +4,16 @@ use emask_attack::cpa::{cpa_recover_subkey, CpaConfig, CpaResult};
 use emask_attack::dpa::{recover_subkey_multibit, DpaConfig, DpaResult};
 use emask_attack::spa::{detect_rounds, SpaReport};
 use emask_attack::stats::{welch_t, TraceMatrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use emask_core::desgen::DesProgramSpec;
 use emask_core::{EnergyParams, EnergyTrace, MaskPolicy, MaskedDes, Phase, SecureStyle};
 use emask_cpu::Cpu;
 use emask_des::bits::to_bit_vec;
 use emask_des::KeySchedule;
 use emask_energy::EnergyModel;
-use emask_isa::OpClass;
 use emask_energy::{FunctionalUnit, UnitState};
+use emask_isa::OpClass;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// The paper's evaluation key (the classic FIPS walk-through key) and
@@ -129,7 +129,11 @@ impl fmt::Display for PolicyTotals {
             )?;
         }
         writeln!(f, "cycles per encryption: {}", self.cycles)?;
-        write!(f, "masking-overhead reduction: {:.1} % (paper: 83 %)", self.overhead_reduction_percent())
+        write!(
+            f,
+            "masking-overhead reduction: {:.1} % (paper: 83 %)",
+            self.overhead_reduction_percent()
+        )
     }
 }
 
@@ -438,11 +442,7 @@ pub struct SweepPoint {
 /// the device under `policy`. The paper argues masking pushes the number
 /// "to an infeasible number" — here to infinity, since the masked peaks
 /// are identically zero at any trace count.
-pub fn dpa_sample_sweep(
-    policy: MaskPolicy,
-    rounds: usize,
-    counts: &[usize],
-) -> Vec<SweepPoint> {
+pub fn dpa_sample_sweep(policy: MaskPolicy, rounds: usize, counts: &[usize]) -> Vec<SweepPoint> {
     let des = compile(policy, rounds);
     let window = des
         .encrypt(PLAINTEXT, KEY)
@@ -520,13 +520,16 @@ pub fn tvla(policy: MaskPolicy, rounds: usize, group_size: usize, seed: u64) -> 
     }
     let t = welch_t(&fixed, &random);
     let (at_cycle, max_t) =
-        t.iter().enumerate().fold((0, 0.0f64), |best, (i, &v)| {
-            if v.abs() > best.1 {
-                (i, v.abs())
-            } else {
-                best
-            }
-        });
+        t.iter().enumerate().fold(
+            (0, 0.0f64),
+            |best, (i, &v)| {
+                if v.abs() > best.1 {
+                    (i, v.abs())
+                } else {
+                    best
+                }
+            },
+        );
     let leaky_cycles = t.iter().filter(|v| v.abs() >= 4.5).count();
     TvlaReport { max_t, at_cycle, leaky_cycles, group_size }
 }
@@ -557,14 +560,26 @@ pub struct AblationReport {
 impl fmt::Display for AblationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "secure-style ablation (max |ΔE| over rounds, two keys):")?;
-        writeln!(f, "  pre-charged dual rail : {:>8.2} pJ (paper design)", self.precharged_leak_pj)?;
-        writeln!(f, "  complement only       : {:>8.2} pJ (no pre-charge → still leaks)", self.complement_only_leak_pj)?;
+        writeln!(
+            f,
+            "  pre-charged dual rail : {:>8.2} pJ (paper design)",
+            self.precharged_leak_pj
+        )?;
+        writeln!(
+            f,
+            "  complement only       : {:>8.2} pJ (no pre-charge → still leaks)",
+            self.complement_only_leak_pj
+        )?;
         writeln!(f, "  unmasked              : {:>8.2} pJ", self.unmasked_leak_pj)?;
         writeln!(f, "clock-gating ablation (unmasked run):")?;
         writeln!(f, "  gated   : {:>8.1} pJ/cycle", self.gated_mean_pj)?;
         writeln!(f, "  ungated : {:>8.1} pJ/cycle", self.ungated_mean_pj)?;
         writeln!(f, "forward-slicing ablation:")?;
-        write!(f, "  seeds-only masking leak: {:>8.2} pJ (indirect flow unprotected)", self.seeds_only_leak_pj)
+        write!(
+            f,
+            "  seeds-only masking leak: {:>8.2} pJ (indirect flow unprotected)",
+            self.seeds_only_leak_pj
+        )
     }
 }
 
@@ -711,9 +726,11 @@ mod tests {
         // The address-generation-heavy ISA makes alu-imm (lui/ori/li)
         // the top class; memory classes must still be present and busy.
         for class in ["load", "store", "alu-imm"] {
-            let row = report.rows.iter().find(|r| r.0 == class).unwrap_or_else(|| {
-                panic!("missing class `{class}`:\n{report}")
-            });
+            let row = report
+                .rows
+                .iter()
+                .find(|r| r.0 == class)
+                .unwrap_or_else(|| panic!("missing class `{class}`:\n{report}"));
             assert!(row.2 > 100, "class `{class}` barely ran:\n{report}");
         }
     }
@@ -734,8 +751,10 @@ mod tests {
         // More traces never shrink the physical peak to zero.
         assert!(unmasked.iter().all(|p| p.best_peak > 0.1));
         let masked = dpa_sample_sweep(MaskPolicy::Selective, 1, &[16, 64]);
-        assert!(masked.iter().all(|p| !p.recovered && p.best_peak < 1e-6),
-            "masked sweep leaked: {masked:?}");
+        assert!(
+            masked.iter().all(|p| !p.recovered && p.best_peak < 1e-6),
+            "masked sweep leaked: {masked:?}"
+        );
     }
 
     #[test]

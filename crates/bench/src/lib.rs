@@ -26,7 +26,8 @@
 pub mod experiments;
 
 pub use experiments::{
-    ablations, coupling_study, cpa_attack, dpa_attack, dpa_sample_sweep, energy_by_class, fig6_round_trace, key_differential, masking_overhead_trace,
-    plaintext_differential, policy_totals, spa_rounds, tvla, xor_unit, AblationReport,
-    ClassEnergy, CouplingReport, CpaOutcome, DpaOutcome, PolicyTotals, SweepPoint, TvlaReport,
+    ablations, coupling_study, cpa_attack, dpa_attack, dpa_sample_sweep, energy_by_class,
+    fig6_round_trace, key_differential, masking_overhead_trace, plaintext_differential,
+    policy_totals, spa_rounds, tvla, xor_unit, AblationReport, ClassEnergy, CouplingReport,
+    CpaOutcome, DpaOutcome, PolicyTotals, SweepPoint, TvlaReport,
 };

@@ -206,7 +206,11 @@ mod tests {
 
     #[test]
     fn binary_builder_nests() {
-        let e = Expr::binary(BinOp::Add, Expr::Int(1), Expr::binary(BinOp::Mul, Expr::Int(2), Expr::Int(3)));
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::Int(1),
+            Expr::binary(BinOp::Mul, Expr::Int(2), Expr::Int(3)),
+        );
         match e {
             Expr::Binary { op: BinOp::Add, rhs, .. } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));

@@ -41,15 +41,13 @@ impl Cfg {
         for (i, inst) in body.iter().enumerate() {
             match inst {
                 Inst::Label(_) => is_leader[i] = true,
-                Inst::Jump { .. } | Inst::Branch { .. } | Inst::Ret { .. }
-                    if i + 1 < n => {
-                        is_leader[i + 1] = true;
-                    }
+                Inst::Jump { .. } | Inst::Branch { .. } | Inst::Ret { .. } if i + 1 < n => {
+                    is_leader[i + 1] = true;
+                }
                 _ => {}
             }
         }
-        let leaders: Vec<usize> =
-            (0..n).filter(|&i| is_leader[i]).collect();
+        let leaders: Vec<usize> = (0..n).filter(|&i| is_leader[i]).collect();
         let mut blocks: Vec<Block> = leaders
             .iter()
             .enumerate()

@@ -6,10 +6,12 @@ use crate::lexer::LexError;
 use crate::lower::lower_unit;
 use crate::opt;
 use crate::parser::{parse, ParseError};
+use crate::profile::{CompileProfile, PassTiming};
 use crate::sema::{check, SemaError};
 use crate::slice::{slice_unit, SliceReport};
 use emask_isa::{assemble, AssembleError, Program};
 use std::fmt;
+use std::time::Instant;
 
 /// Which instructions receive the secure bit — the paper's four comparison
 /// points (§4.3): 46.4 µJ / 52.6 µJ / 63.6 µJ / 83.5 µJ in the original.
@@ -146,25 +148,115 @@ pub struct CompileOutput {
 /// # Ok::<(), emask_cc::CompileError>(())
 /// ```
 pub fn compile(source: &str, options: CompileOptions) -> Result<CompileOutput, CompileError> {
-    let unit = parse(source)?;
-    check(&unit)?;
-    let unit = if options.locals_in_memory {
-        crate::hoist::hoist_locals(&unit)?
-    } else {
-        unit
+    compile_profiled(source, options).map(|(out, _)| out)
+}
+
+/// [`compile`], additionally returning a [`CompileProfile`] with per-pass
+/// wall times, IR size deltas, and the slice report's headline numbers.
+///
+/// # Errors
+///
+/// As for [`compile`].
+pub fn compile_profiled(
+    source: &str,
+    options: CompileOptions,
+) -> Result<(CompileOutput, CompileProfile), CompileError> {
+    let mut profile = CompileProfile { source_bytes: source.len(), ..Default::default() };
+    let timed = |name: &'static str,
+                 profile: &mut CompileProfile,
+                 f: &mut dyn FnMut() -> Result<(), CompileError>|
+     -> Result<(), CompileError> {
+        let start = Instant::now();
+        let r = f();
+        profile.passes.push(PassTiming {
+            name,
+            wall: start.elapsed(),
+            ir_before: None,
+            ir_after: None,
+        });
+        r
     };
-    let info = check(&unit)?;
+
+    let mut unit = None;
+    timed("parse", &mut profile, &mut || {
+        unit = Some(parse(source)?);
+        Ok(())
+    })?;
+    let mut unit = unit.expect("parsed");
+    timed("check", &mut profile, &mut || {
+        check(&unit)?;
+        Ok(())
+    })?;
+    if options.locals_in_memory {
+        let mut hoisted = None;
+        timed("hoist", &mut profile, &mut || {
+            hoisted = Some(crate::hoist::hoist_locals(&unit)?);
+            Ok(())
+        })?;
+        unit = hoisted.expect("hoisted");
+    }
+    let mut info = None;
+    timed("recheck", &mut profile, &mut || {
+        info = Some(check(&unit)?);
+        Ok(())
+    })?;
+    let info = info.expect("checked");
+
+    let ir_size = |funcs: &[FuncIr]| funcs.iter().map(|f| f.body.len()).sum::<usize>();
+    let start = Instant::now();
     let mut funcs = lower_unit(&unit, &info);
+    profile.passes.push(PassTiming {
+        name: "lower",
+        wall: start.elapsed(),
+        ir_before: Some(0),
+        ir_after: Some(ir_size(&funcs)),
+    });
     if !options.no_optimize {
+        let before = ir_size(&funcs);
+        let start = Instant::now();
         for f in &mut funcs {
             opt::fold_const_globals(f, &unit);
             opt::optimize(f);
         }
+        profile.passes.push(PassTiming {
+            name: "optimize",
+            wall: start.elapsed(),
+            ir_before: Some(before),
+            ir_after: Some(ir_size(&funcs)),
+        });
     }
+
+    let start = Instant::now();
     let report = slice_unit(&funcs, &info);
+    profile.passes.push(PassTiming {
+        name: "slice",
+        wall: start.elapsed(),
+        ir_before: None,
+        ir_after: None,
+    });
+    let start = Instant::now();
     let asm = emit_unit(&unit, &funcs, &report, options.policy);
+    profile.passes.push(PassTiming {
+        name: "emit",
+        wall: start.elapsed(),
+        ir_before: None,
+        ir_after: None,
+    });
+    let start = Instant::now();
     let program = assemble(&asm)?;
-    Ok(CompileOutput { asm, program, report, ir: funcs })
+    profile.passes.push(PassTiming {
+        name: "assemble",
+        wall: start.elapsed(),
+        ir_before: None,
+        ir_after: None,
+    });
+
+    profile.text_instructions = program.text.len();
+    profile.secure_instructions = program.secure_instruction_count();
+    profile.critical_ir_instructions = report.critical.values().map(|s| s.len()).sum();
+    profile.tainted_globals = report.tainted_globals.len();
+    profile.tainted_branches = report.tainted_branches.len();
+    Ok((CompileOutput { asm, program, report, ir: funcs }, profile))
 }
 
 #[cfg(test)]
@@ -177,9 +269,7 @@ mod tests {
         let out = compile(src, CompileOptions::with_policy(policy))
             .unwrap_or_else(|e| panic!("compile failed: {e}\n"));
         let mut cpu = Cpu::new(&out.program);
-        let r = cpu
-            .run(5_000_000)
-            .unwrap_or_else(|e| panic!("run failed: {e}\nasm:\n{}", out.asm));
+        let r = cpu.run(5_000_000).unwrap_or_else(|e| panic!("run failed: {e}\nasm:\n{}", out.asm));
         (cpu.reg(Reg::V0), r)
     }
 
@@ -250,16 +340,19 @@ mod tests {
     #[test]
     fn short_circuit_semantics() {
         // Division by zero on the unevaluated side must not trap.
-        assert_eq!(ret("int main() { int x = 0; if (x != 0 && 10 / x > 1) { return 1; } return 2; }"), 2);
-        assert_eq!(ret("int main() { int x = 1; if (x == 1 || 10 / 0 > 1) { return 3; } return 4; }"), 3);
+        assert_eq!(
+            ret("int main() { int x = 0; if (x != 0 && 10 / x > 1) { return 1; } return 2; }"),
+            2
+        );
+        assert_eq!(
+            ret("int main() { int x = 1; if (x == 1 || 10 / 0 > 1) { return 3; } return 4; }"),
+            3
+        );
     }
 
     #[test]
     fn function_calls() {
-        assert_eq!(
-            ret("int sq(int x) { return x * x; } int main() { return sq(3) + sq(4); }"),
-            25
-        );
+        assert_eq!(ret("int sq(int x) { return x * x; } int main() { return sq(3) + sq(4); }"), 25);
     }
 
     #[test]
@@ -440,8 +533,11 @@ mod tests {
     #[test]
     fn unoptimized_build_still_correct() {
         let src = "int main() { int x = 2 + 3 * 4; return x * 2; }";
-        let out = compile(src, CompileOptions { policy: MaskPolicy::None, no_optimize: true, locals_in_memory: false })
-            .unwrap();
+        let out = compile(
+            src,
+            CompileOptions { policy: MaskPolicy::None, no_optimize: true, locals_in_memory: false },
+        )
+        .unwrap();
         let mut cpu = Cpu::new(&out.program);
         cpu.run(100_000).unwrap();
         assert_eq!(cpu.reg(Reg::V0), 28);
@@ -460,9 +556,8 @@ mod tests {
         }
         // Paper style must generate strictly more loads/stores (Figure 4's
         // `lw $2,i` loop-counter traffic).
-        let mem_ops = |p: &emask_isa::Program| {
-            p.text.iter().filter(|i| i.is_load() || i.is_store()).count()
-        };
+        let mem_ops =
+            |p: &emask_isa::Program| p.text.iter().filter(|i| i.is_load() || i.is_store()).count();
         assert!(
             mem_ops(&mem.program) > mem_ops(&reg.program),
             "paper style: {} vs optimized: {}",
@@ -487,31 +582,69 @@ mod tests {
         // element load must be.
         let src = "secure int key[4] = {1,0,1,1}; int sink[4];                   int main() { int i; for (i = 0; i < 4; i = i + 1) { sink[i] = key[i]; } return 0; }";
         let out = compile(src, CompileOptions::paper_style(MaskPolicy::Selective)).unwrap();
-        let secure_mem = out
-            .program
-            .text
-            .iter()
-            .filter(|i| (i.is_load() || i.is_store()) && i.secure)
-            .count();
-        let plain_mem = out
-            .program
-            .text
-            .iter()
-            .filter(|i| (i.is_load() || i.is_store()) && !i.secure)
-            .count();
+        let secure_mem =
+            out.program.text.iter().filter(|i| (i.is_load() || i.is_store()) && i.secure).count();
+        let plain_mem =
+            out.program.text.iter().filter(|i| (i.is_load() || i.is_store()) && !i.secure).count();
         assert!(secure_mem > 0, "key traffic must be secure");
         assert!(plain_mem > secure_mem, "counter traffic must dominate and stay plain");
+    }
+
+    #[test]
+    fn profiled_compile_matches_plain_compile() {
+        let src = "secure int key[4] = {1,0,1,1}; int sink[4];\
+                   int main() { int i; for (i = 0; i < 4; i = i + 1) { sink[i] = key[i]; } return 0; }";
+        let opts = CompileOptions::paper_style(MaskPolicy::Selective);
+        let plain = compile(src, opts).unwrap();
+        let (out, prof) = compile_profiled(src, opts).unwrap();
+        assert_eq!(out.asm, plain.asm);
+        // Every pipeline stage is timed, in order, including the
+        // paper-style hoist pass.
+        let names: Vec<&str> = prof.passes.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            [
+                "parse", "check", "hoist", "recheck", "lower", "optimize", "slice", "emit",
+                "assemble"
+            ]
+        );
+        assert_eq!(prof.source_bytes, src.len());
+        assert_eq!(prof.text_instructions, out.program.text.len());
+        assert_eq!(prof.secure_instructions, out.program.secure_instruction_count());
+        assert!(prof.critical_ir_instructions > 0);
+        assert_eq!(prof.tainted_globals, out.report.tainted_globals.len());
+        // Lowering creates the IR from nothing; the delta is its size.
+        assert!(prof.pass("lower").unwrap().ir_delta().unwrap() > 0);
+        assert!(prof.total_wall() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn profile_skips_passes_that_do_not_run() {
+        let src = "int main() { return 1; }";
+        let opts =
+            CompileOptions { policy: MaskPolicy::None, no_optimize: true, locals_in_memory: false };
+        let (_, prof) = compile_profiled(src, opts).unwrap();
+        assert!(prof.pass("hoist").is_none());
+        assert!(prof.pass("optimize").is_none());
+        assert!(prof.pass("assemble").is_some());
     }
 
     #[test]
     fn optimization_reduces_instruction_count() {
         let src = "int g; int main() { int x = 2 + 3 * 4; int dead = x * 100; g = x; return 0; }";
         let opt = compile(src, CompileOptions::default()).unwrap().program.text.len();
-        let unopt = compile(src, CompileOptions { policy: MaskPolicy::Selective, no_optimize: true, locals_in_memory: false })
-            .unwrap()
-            .program
-            .text
-            .len();
+        let unopt = compile(
+            src,
+            CompileOptions {
+                policy: MaskPolicy::Selective,
+                no_optimize: true,
+                locals_in_memory: false,
+            },
+        )
+        .unwrap()
+        .program
+        .text
+        .len();
         assert!(opt < unopt, "optimizer must shrink code: {opt} vs {unopt}");
     }
 }

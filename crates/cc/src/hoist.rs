@@ -124,9 +124,7 @@ fn hoist_stmt(
             });
             // Preserve Tiny-C semantics: an uninitialized local reads 0,
             // and a loop-body declaration resets on every iteration.
-            let value = init
-                .map(|e| hoist_expr(e, f, locals))
-                .unwrap_or(Expr::Int(0));
+            let value = init.map(|e| hoist_expr(e, f, locals)).unwrap_or(Expr::Int(0));
             vec![Stmt::Assign { name: slot_name(&f.name, &name), value, line }]
         }
         Stmt::Assign { name, value, line } => {
@@ -187,10 +185,9 @@ fn hoist_expr(e: Expr, f: &Function, locals: &HashSet<String>) -> Expr {
         Expr::Unary { op, operand } => {
             Expr::Unary { op, operand: Box::new(hoist_expr(*operand, f, locals)) }
         }
-        Expr::Call { name, args } => Expr::Call {
-            name,
-            args: args.into_iter().map(|a| hoist_expr(a, f, locals)).collect(),
-        },
+        Expr::Call { name, args } => {
+            Expr::Call { name, args: args.into_iter().map(|a| hoist_expr(a, f, locals)).collect() }
+        }
     }
 }
 
@@ -217,8 +214,7 @@ mod tests {
     fn shadowing_respects_declaration_order() {
         // `g` is a global; before the local `g` is declared, uses refer to
         // the global.
-        let unit =
-            parse("int g = 7; int main() { int a = g; int g = 1; return a + g; }").unwrap();
+        let unit = parse("int g = 7; int main() { int a = g; int g = 1; return a + g; }").unwrap();
         let h = hoist_locals(&unit).unwrap();
         // First statement's RHS must still reference the global `g`.
         let Stmt::Assign { value, .. } = &h.functions[0].body[0] else { panic!() };
@@ -240,8 +236,8 @@ mod tests {
 
     #[test]
     fn params_stay_untouched() {
-        let unit = parse("int f(int a) { int b = a; return b; } int main() { return f(2); }")
-            .unwrap();
+        let unit =
+            parse("int f(int a) { int b = a; return b; } int main() { return f(2); }").unwrap();
         let h = hoist_locals(&unit).unwrap();
         let f = &h.functions[0];
         // `a` reference unchanged; `b` hoisted.

@@ -150,20 +150,18 @@ impl IrMachine {
                 Inst::LoadElem { dst, array, index } => {
                     let i = read(&temps, *index);
                     let arr = &self.globals[array];
-                    let v = *arr.get(i as usize).ok_or_else(|| IrTrap::OutOfBounds {
-                        array: array.clone(),
-                        index: i,
-                    })?;
+                    let v = *arr
+                        .get(i as usize)
+                        .ok_or_else(|| IrTrap::OutOfBounds { array: array.clone(), index: i })?;
                     temps[dst.0 as usize] = v;
                 }
                 Inst::StoreElem { array, index, src } => {
                     let i = read(&temps, *index);
                     let v = read(&temps, *src);
                     let arr = self.globals.get_mut(array).expect("checked global");
-                    let slot = arr.get_mut(i as usize).ok_or_else(|| IrTrap::OutOfBounds {
-                        array: array.clone(),
-                        index: i,
-                    })?;
+                    let slot = arr
+                        .get_mut(i as usize)
+                        .ok_or_else(|| IrTrap::OutOfBounds { array: array.clone(), index: i })?;
                     *slot = v;
                 }
                 Inst::Call { dst, func, args } => {
@@ -261,17 +259,13 @@ mod tests {
 
     #[test]
     fn division_by_zero_traps() {
-        let (_, mut m) =
-            machine("int g; int main() { int x = g; return 1 / x; }", true);
+        let (_, mut m) = machine("int g; int main() { int x = g; return 1 / x; }", true);
         assert_eq!(m.run_main(), Err(IrTrap::DivideByZero));
     }
 
     #[test]
     fn out_of_bounds_traps() {
-        let (_, mut m) = machine(
-            "int a[2]; int g = 5; int main() { return a[g]; }",
-            true,
-        );
+        let (_, mut m) = machine("int a[2]; int g = 5; int main() { return a[g]; }", true);
         assert!(matches!(m.run_main(), Err(IrTrap::OutOfBounds { index: 5, .. })));
     }
 

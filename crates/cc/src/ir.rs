@@ -378,8 +378,9 @@ mod tests {
     #[test]
     fn purity_classification() {
         assert!(Inst::Const { dst: Temp(0), value: 1 }.is_pure());
-        assert!(Inst::LoadElem { dst: Temp(0), array: "a".into(), index: Operand::Const(0) }
-            .is_pure());
+        assert!(
+            Inst::LoadElem { dst: Temp(0), array: "a".into(), index: Operand::Const(0) }.is_pure()
+        );
         assert!(!Inst::StoreGlobal { name: "g".into(), src: Operand::Const(0) }.is_pure());
         assert!(!Inst::Call { dst: Some(Temp(0)), func: "f".into(), args: vec![] }.is_pure());
         // Division may trap; never dead-code-eliminate it.
@@ -405,7 +406,8 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let i = Inst::LoadElem { dst: Temp(1), array: "sbox".into(), index: Operand::Temp(Temp(0)) };
+        let i =
+            Inst::LoadElem { dst: Temp(1), array: "sbox".into(), index: Operand::Temp(Temp(0)) };
         assert_eq!(i.to_string(), "%1 = @sbox[%0]");
     }
 }

@@ -233,8 +233,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     if i == hex_start {
                         return Err(LexError { line, message: "empty hex literal".into() });
                     }
-                    u32::from_str_radix(&source[hex_start..i], 16)
-                        .map_err(|_| LexError { line, message: "hex literal overflows 32 bits".into() })?
+                    u32::from_str_radix(&source[hex_start..i], 16).map_err(|_| LexError {
+                        line,
+                        message: "hex literal overflows 32 bits".into(),
+                    })?
                 } else {
                     while i < n && (bytes[i] as char).is_ascii_digit() {
                         i += 1;
@@ -344,34 +346,27 @@ mod tests {
 
     #[test]
     fn numbers_decimal_and_hex() {
-        assert_eq!(kinds("0 42 0xFF 0xdeadBEEF"), vec![
-            Tok::Int(0),
-            Tok::Int(42),
-            Tok::Int(255),
-            Tok::Int(0xDEAD_BEEF),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            kinds("0 42 0xFF 0xdeadBEEF"),
+            vec![Tok::Int(0), Tok::Int(42), Tok::Int(255), Tok::Int(0xDEAD_BEEF), Tok::Eof]
+        );
     }
 
     #[test]
     fn two_char_operators_win() {
         assert_eq!(kinds("<<=>>"), vec![Tok::Shl, Tok::Assign, Tok::Shr, Tok::Eof]);
-        assert_eq!(kinds("a<=b"), vec![
-            Tok::Ident("a".into()),
-            Tok::Le,
-            Tok::Ident("b".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            kinds("a<=b"),
+            vec![Tok::Ident("a".into()), Tok::Le, Tok::Ident("b".into()), Tok::Eof]
+        );
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("1 // nope\n2 /* and\nnot this */ 3"), vec![
-            Tok::Int(1),
-            Tok::Int(2),
-            Tok::Int(3),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            kinds("1 // nope\n2 /* and\nnot this */ 3"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Int(3), Tok::Eof]
+        );
     }
 
     #[test]

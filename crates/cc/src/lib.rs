@@ -64,10 +64,14 @@ pub mod lexer;
 pub mod lower;
 pub mod opt;
 pub mod parser;
+pub mod profile;
 pub mod regalloc;
 pub mod sema;
 pub mod slice;
 
-pub use driver::{compile, CompileError, CompileOptions, CompileOutput, MaskPolicy};
+pub use driver::{
+    compile, compile_profiled, CompileError, CompileOptions, CompileOutput, MaskPolicy,
+};
 pub use interp::{IrMachine, IrTrap};
+pub use profile::{CompileProfile, PassTiming};
 pub use slice::SliceReport;

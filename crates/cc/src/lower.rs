@@ -22,7 +22,14 @@ struct Lowerer<'a> {
 
 impl<'a> Lowerer<'a> {
     fn new(info: &'a UnitInfo) -> Self {
-        Self { info, body: Vec::new(), temps: 0, labels: 0, vars: HashMap::new(), loops: Vec::new() }
+        Self {
+            info,
+            body: Vec::new(),
+            temps: 0,
+            labels: 0,
+            vars: HashMap::new(),
+            loops: Vec::new(),
+        }
     }
 
     fn temp(&mut self) -> Temp {
@@ -237,11 +244,7 @@ impl<'a> Lowerer<'a> {
         self.emit(Inst::Bin { op: BinKind::SetNe, dst: result, lhs: l, rhs: Operand::Const(0) });
         // AND: if lhs == 0 the answer is 0, skip rhs.
         // OR: if lhs != 0 the answer is 1, skip rhs.
-        self.emit(Inst::Branch {
-            cond: Operand::Temp(result),
-            if_true: !is_and,
-            target: skip,
-        });
+        self.emit(Inst::Branch { cond: Operand::Temp(result), if_true: !is_and, target: skip });
         let r = self.expr(rhs);
         self.emit(Inst::Bin { op: BinKind::SetNe, dst: result, lhs: r, rhs: Operand::Const(0) });
         self.emit(Inst::Label(skip));

@@ -31,12 +31,8 @@ pub fn optimize(f: &mut FuncIr) {
 ///
 /// Sound because sema rejects every write to `const` data.
 pub fn fold_const_globals(f: &mut FuncIr, unit: &Unit) -> bool {
-    let consts: HashMap<&str, &crate::ast::Global> = unit
-        .globals
-        .iter()
-        .filter(|g| g.konst)
-        .map(|g| (g.name.as_str(), g))
-        .collect();
+    let consts: HashMap<&str, &crate::ast::Global> =
+        unit.globals.iter().filter(|g| g.konst).map(|g| (g.name.as_str(), g)).collect();
     let mut changed = false;
     for inst in &mut f.body {
         match inst {
@@ -106,10 +102,7 @@ pub fn eliminate_common_subexpressions(f: &mut FuncIr) -> bool {
             available.retain(|(op, lhs, rhs), held| {
                 let still_this = matches!(&this_inst, Inst::Bin { op: o, dst, lhs: l, rhs: r }
                     if o == op && l == lhs && r == rhs && dst == held);
-                still_this
-                    || (lhs.as_temp() != Some(d)
-                        && rhs.as_temp() != Some(d)
-                        && *held != d)
+                still_this || (lhs.as_temp() != Some(d) && rhs.as_temp() != Some(d) && *held != d)
             });
         }
     }
@@ -130,7 +123,16 @@ pub fn fold_constants(f: &mut FuncIr) -> bool {
                     changed = true;
                 }
             }
-            (_, Some(0)) if matches!(op, BinKind::Add | BinKind::Sub | BinKind::Xor | BinKind::Or | BinKind::Shl | BinKind::Shr) =>
+            (_, Some(0))
+                if matches!(
+                    op,
+                    BinKind::Add
+                        | BinKind::Sub
+                        | BinKind::Xor
+                        | BinKind::Or
+                        | BinKind::Shl
+                        | BinKind::Shr
+                ) =>
             {
                 *inst = Inst::Copy { dst, src: *lhs };
                 changed = true;
@@ -280,10 +282,7 @@ mod tests {
     fn lowered(src: &str) -> FuncIr {
         let unit = parse(src).unwrap();
         let info = check(&unit).unwrap();
-        lower_unit(&unit, &info)
-            .into_iter()
-            .find(|f| f.name == "main")
-            .unwrap()
+        lower_unit(&unit, &info).into_iter().find(|f| f.name == "main").unwrap()
     }
 
     fn optimized(src: &str) -> FuncIr {
@@ -387,8 +386,7 @@ mod tests {
     #[test]
     fn const_array_with_constant_index_folds() {
         let unit =
-            parse("const int t[3] = {7, 8, 9}; int g; int main() { g = t[1]; return 0; }")
-                .unwrap();
+            parse("const int t[3] = {7, 8, 9}; int g; int main() { g = t[1]; return 0; }").unwrap();
         let info = check(&unit).unwrap();
         let mut f = lower_unit(&unit, &info).remove(0);
         assert!(fold_const_globals(&mut f, &unit));
@@ -433,8 +431,11 @@ mod tests {
         );
         let muls =
             f.body.iter().filter(|i| matches!(i, Inst::Bin { op: BinKind::Mul, .. })).count();
-        assert_eq!(muls, 1, "CSE must collapse the duplicate multiply:
-{f}");
+        assert_eq!(
+            muls, 1,
+            "CSE must collapse the duplicate multiply:
+{f}"
+        );
     }
 
     #[test]
@@ -445,8 +446,11 @@ mod tests {
         );
         let adds =
             f.body.iter().filter(|i| matches!(i, Inst::Bin { op: BinKind::Add, .. })).count();
-        assert!(adds >= 2, "must keep both adds plus the x update:
-{f}");
+        assert!(
+            adds >= 2,
+            "must keep both adds plus the x update:
+{f}"
+        );
     }
 
     #[test]
@@ -455,10 +459,10 @@ mod tests {
             "int g; int main() { int x = g; int s = 0; int i; for (i = 0; i < 3; i = i + 1) { s = s + x * 2; } g = s; return 0; }",
         );
         // The loop-body multiply survives (its block is re-entered).
-        assert!(f
-            .body
-            .iter()
-            .any(|i| matches!(i, Inst::Bin { op: BinKind::Shl, .. } | Inst::Bin { op: BinKind::Mul, .. })));
+        assert!(f.body.iter().any(|i| matches!(
+            i,
+            Inst::Bin { op: BinKind::Shl, .. } | Inst::Bin { op: BinKind::Mul, .. }
+        )));
     }
 
     #[test]

@@ -122,9 +122,7 @@ impl Parser {
             let returns_value = match self.peek() {
                 Tok::KwInt => true,
                 Tok::KwVoid if !secure && !konst => false,
-                other => {
-                    return Err(self.err(format!("expected `int` or `void`, found `{other}`")))
-                }
+                other => return Err(self.err(format!("expected `int` or `void`, found `{other}`"))),
             };
             self.bump();
             let line = self.line();
@@ -179,14 +177,9 @@ impl Parser {
         }
         match len {
             Some(n) if init.len() > n as usize => {
-                return Err(self.err(format!(
-                    "{} initializers for array of {n}",
-                    init.len()
-                )))
+                return Err(self.err(format!("{} initializers for array of {n}", init.len())))
             }
-            None if init.len() > 1 => {
-                return Err(self.err("brace initializer on a scalar".into()))
-            }
+            None if init.len() > 1 => return Err(self.err("brace initializer on a scalar".into())),
             _ => {}
         }
         self.eat(&Tok::Semi)?;
@@ -491,9 +484,7 @@ mod tests {
     fn precedence_is_conventional() {
         let u = parse("int f() { return 1 + 2 * 3 ^ 4; }").unwrap();
         // ^ binds loosest: (1 + (2*3)) ^ 4.
-        let Stmt::Return { value: Some(e), .. } = &u.functions[0].body[0] else {
-            panic!()
-        };
+        let Stmt::Return { value: Some(e), .. } = &u.functions[0].body[0] else { panic!() };
         let Expr::Binary { op: BinOp::Xor, lhs, .. } = e else { panic!("got {e:?}") };
         assert!(matches!(**lhs, Expr::Binary { op: BinOp::Add, .. }));
     }

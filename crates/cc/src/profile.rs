@@ -1,0 +1,128 @@
+//! Compilation profiling: per-pass wall time and IR size deltas.
+//!
+//! [`crate::driver::compile_profiled`] runs the normal pipeline with a
+//! stopwatch around every pass and records how each IR-shaping pass grew
+//! or shrank the program, plus the headline numbers of the forward-slice
+//! report. The profile is pure data — render it with its [`std::fmt::Display`]
+//! impl or pick fields directly.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One pass's timing and (for IR passes) size effect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassTiming {
+    /// Pass name (`"parse"`, `"lower"`, `"optimize"`, …).
+    pub name: &'static str,
+    /// Wall-clock time spent in the pass.
+    pub wall: Duration,
+    /// Total IR instructions before the pass, when the pass transforms IR.
+    pub ir_before: Option<usize>,
+    /// Total IR instructions after the pass, when the pass transforms IR.
+    pub ir_after: Option<usize>,
+}
+
+impl PassTiming {
+    /// Net IR instruction change (negative = the pass shrank the program).
+    pub fn ir_delta(&self) -> Option<isize> {
+        Some(self.ir_after? as isize - self.ir_before? as isize)
+    }
+}
+
+/// The profile of one compilation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompileProfile {
+    /// Per-pass timings, in pipeline order.
+    pub passes: Vec<PassTiming>,
+    /// Source length in bytes.
+    pub source_bytes: usize,
+    /// Machine instructions in the assembled text segment.
+    pub text_instructions: usize,
+    /// Machine instructions carrying the secure bit.
+    pub secure_instructions: usize,
+    /// IR instructions the forward slice marked critical.
+    pub critical_ir_instructions: usize,
+    /// Globals the slice found key-tainted.
+    pub tainted_globals: usize,
+    /// Tainted-condition branches (control-flow leak warnings).
+    pub tainted_branches: usize,
+}
+
+impl CompileProfile {
+    /// Total wall-clock time across all passes.
+    pub fn total_wall(&self) -> Duration {
+        self.passes.iter().map(|p| p.wall).sum()
+    }
+
+    /// The timing of a named pass, if it ran.
+    pub fn pass(&self, name: &str) -> Option<&PassTiming> {
+        self.passes.iter().find(|p| p.name == name)
+    }
+}
+
+impl fmt::Display for CompileProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "compile profile: {} B source -> {} insts ({} secure) in {:.3} ms",
+            self.source_bytes,
+            self.text_instructions,
+            self.secure_instructions,
+            self.total_wall().as_secs_f64() * 1e3,
+        )?;
+        for p in &self.passes {
+            write!(f, "  {:<12} {:>9.3} ms", p.name, p.wall.as_secs_f64() * 1e3)?;
+            if let (Some(before), Some(after)) = (p.ir_before, p.ir_after) {
+                write!(f, "   ir {before} -> {after} ({:+})", after as isize - before as isize)?;
+            }
+            writeln!(f)?;
+        }
+        write!(
+            f,
+            "  slice: {} critical ir insts, {} tainted globals, {} tainted branches",
+            self.critical_ir_instructions, self.tainted_globals, self.tainted_branches,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_require_both_sizes() {
+        let p = PassTiming {
+            name: "optimize",
+            wall: Duration::from_micros(5),
+            ir_before: Some(100),
+            ir_after: Some(80),
+        };
+        assert_eq!(p.ir_delta(), Some(-20));
+        let q = PassTiming { name: "parse", wall: Duration::ZERO, ir_before: None, ir_after: None };
+        assert_eq!(q.ir_delta(), None);
+    }
+
+    #[test]
+    fn display_mentions_passes_and_slice() {
+        let prof = CompileProfile {
+            passes: vec![PassTiming {
+                name: "lower",
+                wall: Duration::from_millis(1),
+                ir_before: Some(0),
+                ir_after: Some(10),
+            }],
+            source_bytes: 42,
+            text_instructions: 7,
+            secure_instructions: 3,
+            critical_ir_instructions: 4,
+            tainted_globals: 1,
+            tainted_branches: 0,
+        };
+        let s = prof.to_string();
+        assert!(s.contains("lower"));
+        assert!(s.contains("tainted globals"));
+        assert!(s.contains("ir 0 -> 10 (+10)"));
+        assert!(prof.pass("lower").is_some());
+        assert!(prof.pass("missing").is_none());
+    }
+}

@@ -187,11 +187,8 @@ pub fn allocate(f: &FuncIr, cfg: &Cfg) -> Allocation {
         // Pick a register from the preferred pool, falling back to the
         // other pool (an $s reg is always safe; a $t reg is safe only for
         // intervals that do not cross calls).
-        let reg = if iv.crosses_call {
-            free_s.pop()
-        } else {
-            free_t.pop().or_else(|| free_s.pop())
-        };
+        let reg =
+            if iv.crosses_call { free_s.pop() } else { free_t.pop().or_else(|| free_s.pop()) };
         let loc = match reg {
             Some(r) => {
                 if CALLEE_SAVED.contains(&r) {
@@ -357,10 +354,8 @@ mod tests {
 
     #[test]
     fn params_allocated_from_entry() {
-        let (f, a) = alloc_src(
-            "int f(int a, int b) { return a + b; } int main() { return f(1, 2); }",
-            "f",
-        );
+        let (f, a) =
+            alloc_src("int f(int a, int b) { return a + b; } int main() { return f(1, 2); }", "f");
         for p in &f.params {
             let _ = a.loc(*p); // must be assigned
         }

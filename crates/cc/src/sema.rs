@@ -73,13 +73,14 @@ pub fn check(unit: &Unit) -> Result<UnitInfo, SemaError> {
         if g.secure && g.konst {
             return Err(err(
                 g.line,
-                format!("`{}`: const data is public by definition; `secure const` is contradictory", g.name),
+                format!(
+                    "`{}`: const data is public by definition; `secure const` is contradictory",
+                    g.name
+                ),
             ));
         }
-        info.globals.insert(
-            g.name.clone(),
-            GlobalInfo { len: g.len, secure: g.secure, konst: g.konst },
-        );
+        info.globals
+            .insert(g.name.clone(), GlobalInfo { len: g.len, secure: g.secure, konst: g.konst });
     }
     for f in &unit.functions {
         if f.name == "declassify" {
@@ -101,8 +102,10 @@ pub fn check(unit: &Unit) -> Result<UnitInfo, SemaError> {
         if unique.len() != f.params.len() {
             return Err(err(f.line, format!("duplicate parameter in `{}`", f.name)));
         }
-        info.functions
-            .insert(f.name.clone(), FuncInfo { arity: f.params.len(), returns_value: f.returns_value });
+        info.functions.insert(
+            f.name.clone(),
+            FuncInfo { arity: f.params.len(), returns_value: f.returns_value },
+        );
     }
     if !info.functions.contains_key("main") {
         return Err(err(0, "no `main` function".into()));
@@ -165,7 +168,10 @@ fn check_body(
                     }
                     Some(_) => {}
                     None if scope.contains(name) => {
-                        return Err(err(*line, format!("local `{name}` indexed (locals are scalars)")))
+                        return Err(err(
+                            *line,
+                            format!("local `{name}` indexed (locals are scalars)"),
+                        ))
                     }
                     None => return Err(err(*line, format!("undefined array `{name}`"))),
                 }
@@ -197,18 +203,16 @@ fn check_body(
                 return Err(err(*line, "`break`/`continue` outside a loop".into()));
             }
             Stmt::Break { .. } | Stmt::Continue { .. } => {}
-            Stmt::Return { value, line } => {
-                match (value, f.returns_value) {
-                    (Some(e), true) => check_expr(e, info, scope, *line)?,
-                    (None, false) => {}
-                    (Some(_), false) => {
-                        return Err(err(*line, format!("void `{}` returns a value", f.name)))
-                    }
-                    (None, true) => {
-                        return Err(err(*line, format!("int `{}` returns no value", f.name)))
-                    }
+            Stmt::Return { value, line } => match (value, f.returns_value) {
+                (Some(e), true) => check_expr(e, info, scope, *line)?,
+                (None, false) => {}
+                (Some(_), false) => {
+                    return Err(err(*line, format!("void `{}` returns a value", f.name)))
                 }
-            }
+                (None, true) => {
+                    return Err(err(*line, format!("int `{}` returns no value", f.name)))
+                }
+            },
             Stmt::Expr(e) => check_expr(e, info, scope, 0)?,
         }
     }
@@ -327,7 +331,8 @@ mod tests {
 
     #[test]
     fn const_write_rejected() {
-        let e = check_src("const int t[2] = {1,2}; int main() { t[0] = 3; return 0; }").unwrap_err();
+        let e =
+            check_src("const int t[2] = {1,2}; int main() { t[0] = 3; return 0; }").unwrap_err();
         assert!(e.message.contains("const"));
     }
 
@@ -354,8 +359,10 @@ mod tests {
 
     #[test]
     fn max_four_params() {
-        let e = check_src("int f(int a, int b, int c, int d, int e) { return 0; } int main() { return 0; }")
-            .unwrap_err();
+        let e = check_src(
+            "int f(int a, int b, int c, int d, int e) { return 0; } int main() { return 0; }",
+        )
+        .unwrap_err();
         assert!(e.message.contains("at most 4"));
     }
 

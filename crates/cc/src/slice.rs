@@ -134,13 +134,10 @@ pub fn slice_unit(funcs: &[FuncIr], info: &UnitInfo) -> SliceReport {
                         || report.tainted_globals.contains(array)
                         || is_tainted(index)
                 }
-                Inst::StoreElem { array: _, index, src } => {
-                    is_tainted(index) || is_tainted(src)
-                }
+                Inst::StoreElem { array: _, index, src } => is_tainted(index) || is_tainted(src),
                 // Argument registers are pipeline data like any other.
                 Inst::Call { args, dst, .. } => {
-                    args.iter().any(&is_tainted)
-                        || dst.is_some_and(|d| temps.contains(&d))
+                    args.iter().any(&is_tainted) || dst.is_some_and(|d| temps.contains(&d))
                 }
                 Inst::Branch { cond, .. } => {
                     let t = is_tainted(cond);
@@ -174,34 +171,33 @@ fn propagate(
         report.tainted_temps.get_mut(func).expect("known function").insert(t)
     };
     match inst {
-        Inst::Copy { dst, src }
-            if tainted(report, src) => {
-                return taint_temp(report, fname, *dst);
-            }
-        Inst::Bin { dst, lhs, rhs, .. }
-            if (tainted(report, lhs) || tainted(report, rhs)) => {
-                return taint_temp(report, fname, *dst);
-            }
-        Inst::LoadGlobal { dst, name }
-            if report.tainted_globals.contains(name) => {
-                return taint_temp(report, fname, *dst);
-            }
+        Inst::Copy { dst, src } if tainted(report, src) => {
+            return taint_temp(report, fname, *dst);
+        }
+        Inst::Bin { dst, lhs, rhs, .. } if (tainted(report, lhs) || tainted(report, rhs)) => {
+            return taint_temp(report, fname, *dst);
+        }
+        Inst::LoadGlobal { dst, name } if report.tainted_globals.contains(name) => {
+            return taint_temp(report, fname, *dst);
+        }
         Inst::StoreGlobal { name, src }
-            if tainted(report, src) && !report.tainted_globals.contains(name) => {
-                report.tainted_globals.insert(name.clone());
-                return true;
-            }
+            if tainted(report, src) && !report.tainted_globals.contains(name) =>
+        {
+            report.tainted_globals.insert(name.clone());
+            return true;
+        }
         Inst::LoadElem { dst, array, index }
-            if (report.tainted_globals.contains(array) || tainted(report, index)) => {
-                return taint_temp(report, fname, *dst);
-            }
+            if (report.tainted_globals.contains(array) || tainted(report, index)) =>
+        {
+            return taint_temp(report, fname, *dst);
+        }
         Inst::StoreElem { array, index, src }
             if (tainted(report, src) || tainted(report, index))
-                && !report.tainted_globals.contains(array)
-            => {
-                report.tainted_globals.insert(array.clone());
-                return true;
-            }
+                && !report.tainted_globals.contains(array) =>
+        {
+            report.tainted_globals.insert(array.clone());
+            return true;
+        }
         Inst::Call { dst, func, args } => {
             let mut changed = false;
             if let Some(callee) = by_name.get(func.as_str()) {
@@ -219,10 +215,11 @@ fn propagate(
             return changed;
         }
         Inst::Ret { value: Some(v) }
-            if tainted(report, v) && !report.tainted_returns.contains(fname) => {
-                report.tainted_returns.insert(fname.clone());
-                return true;
-            }
+            if tainted(report, v) && !report.tainted_returns.contains(fname) =>
+        {
+            report.tainted_returns.insert(fname.clone());
+            return true;
+        }
         _ => {}
     }
     false

@@ -43,5 +43,8 @@ pub mod xtea;
 pub use desgen::{des_source, DesProgramSpec};
 pub use emask_cc::MaskPolicy;
 pub use emask_energy::{EnergyParams, EnergyTrace, SecureStyle};
+pub use emask_telemetry::{
+    ChromeTrace, CycleCsv, MetricsRegistry, MetricsSnapshot, PhaseEvent, RunObserver,
+};
 pub use runner::{EncryptionRun, MaskedDes, Phase, PhaseMarker, RunError};
 pub use xtea::{xtea_decrypt, xtea_encrypt, MaskedXtea, XteaRun};

@@ -10,6 +10,7 @@ use emask_des::bitarray::BitArrayState;
 use emask_des::bits::{from_bit_vec, to_bit_vec};
 use emask_energy::{EnergyModel, EnergyParams, EnergyTrace};
 use emask_isa::Program;
+use emask_telemetry::{PhaseEvent, RunObserver};
 use std::fmt;
 use std::ops::Range;
 
@@ -66,11 +67,8 @@ impl EncryptionRun {
     pub fn phase_window(&self, phase: Phase) -> Option<Range<usize>> {
         let i = self.markers.iter().position(|m| m.phase == phase)?;
         let start = self.markers[i].cycle as usize;
-        let end = self
-            .markers
-            .get(i + 1)
-            .map(|m| m.cycle as usize)
-            .unwrap_or_else(|| self.trace.len());
+        let end =
+            self.markers.get(i + 1).map(|m| m.cycle as usize).unwrap_or_else(|| self.trace.len());
         Some(start..end)
     }
 
@@ -164,10 +162,7 @@ impl MaskedDes {
     /// # Errors
     ///
     /// As for [`MaskedDes::compile`].
-    pub fn compile_spec(
-        policy: MaskPolicy,
-        spec: &DesProgramSpec,
-    ) -> Result<Self, CompileError> {
+    pub fn compile_spec(policy: MaskPolicy, spec: &DesProgramSpec) -> Result<Self, CompileError> {
         Self::compile_with(policy, spec, false)
     }
 
@@ -267,6 +262,48 @@ impl MaskedDes {
         self.run_block(plaintext, key)
     }
 
+    /// [`MaskedDes::encrypt`] with a telemetry observer attached: `obs`
+    /// receives every cycle's activity + energy, every phase-marker
+    /// crossing (before that cycle's `on_cycle`, so phase accumulators use
+    /// the same start-inclusive windows as [`EncryptionRun::phase_window`]),
+    /// and the final pipeline statistics.
+    ///
+    /// The call is monomorphized per observer type; passing `&mut ()`
+    /// compiles to exactly the unobserved [`MaskedDes::encrypt`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`MaskedDes::encrypt`].
+    pub fn encrypt_observed<O: RunObserver>(
+        &self,
+        plaintext: u64,
+        key: u64,
+        obs: &mut O,
+    ) -> Result<EncryptionRun, RunError> {
+        assert!(!self.decryptor, "this instance was compiled as a decryptor; use decrypt()");
+        self.run_block_observed(plaintext, key, obs)
+    }
+
+    /// [`MaskedDes::decrypt`] with a telemetry observer attached; see
+    /// [`MaskedDes::encrypt_observed`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`MaskedDes::decrypt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this instance is an encryptor.
+    pub fn decrypt_observed<O: RunObserver>(
+        &self,
+        ciphertext: u64,
+        key: u64,
+        obs: &mut O,
+    ) -> Result<EncryptionRun, RunError> {
+        assert!(self.decryptor, "this instance was compiled as an encryptor; use encrypt()");
+        self.run_block_observed(ciphertext, key, obs)
+    }
+
     /// Decrypts one block on a decryptor instance (see
     /// [`MaskedDes::compile_decryptor`]), with the same measurement and
     /// golden-model validation as [`MaskedDes::encrypt`].
@@ -315,6 +352,15 @@ impl MaskedDes {
     }
 
     fn run_block(&self, input: u64, key: u64) -> Result<EncryptionRun, RunError> {
+        self.run_block_observed(input, key, &mut ())
+    }
+
+    fn run_block_observed<O: RunObserver>(
+        &self,
+        input: u64,
+        key: u64,
+        obs: &mut O,
+    ) -> Result<EncryptionRun, RunError> {
         let plaintext = input;
         let mut cpu = Cpu::new(&self.program);
         // Poke inputs: one word per bit, MSB first (paper Figure 4 layout).
@@ -336,15 +382,26 @@ impl MaskedDes {
         let mut trace = EnergyTrace::new();
         let mut markers = Vec::new();
         let stats = cpu.run_with(self.cycle_limit, |act| {
-            trace.push(model.observe(act));
+            let energy = model.observe(act);
+            // Markers first: the marker cycle belongs to the *new* phase
+            // (start-inclusive windows), so phase-switching observers must
+            // see on_phase before this cycle's on_cycle.
             if let Some(mem) = act.mem {
                 if mem.is_store && mem.addr == marker_addr {
                     if let Some(phase) = phase_of_marker(mem.data) {
+                        obs.on_phase(&PhaseEvent {
+                            name: phase.to_string(),
+                            cycle: act.cycle,
+                            index: markers.len(),
+                        });
                         markers.push(PhaseMarker { phase, cycle: act.cycle });
                     }
                 }
             }
+            obs.on_cycle(act, &energy);
+            trace.push(energy);
         })?;
+        obs.on_finish(&stats);
 
         // Read the ciphertext back and validate against the golden model.
         let out_addr = self.program.data_addr("output");
@@ -423,11 +480,8 @@ mod tests {
     #[test]
     fn reduced_round_variants_match_golden_model() {
         for rounds in [1usize, 2, 4] {
-            let des = MaskedDes::compile_spec(
-                MaskPolicy::Selective,
-                &DesProgramSpec { rounds },
-            )
-            .expect("compile");
+            let des = MaskedDes::compile_spec(MaskPolicy::Selective, &DesProgramSpec { rounds })
+                .expect("compile");
             let run = des.encrypt(PLAIN, KEY).expect("run");
             assert_eq!(run.ciphertext, golden(PLAIN, KEY, rounds), "{rounds} rounds");
         }
@@ -444,7 +498,7 @@ mod tests {
     }
 
     #[test]
-    fn markers_cover_all_phases_in_order(){
+    fn markers_cover_all_phases_in_order() {
         let des = two_rounds(MaskPolicy::None);
         let run = des.encrypt(PLAIN, KEY).expect("run");
         let phases: Vec<Phase> = run.markers.iter().map(|m| m.phase).collect();
@@ -471,6 +525,47 @@ mod tests {
         assert_eq!(w1.end, w2.start);
         assert!(run.phase_trace(Phase::Round(1)).unwrap().total_pj() > 0.0);
         assert!(run.phase_window(Phase::Round(3)).is_none());
+    }
+
+    #[test]
+    fn phase_lookup_handles_missing_and_out_of_range_phases() {
+        let des = two_rounds(MaskPolicy::None);
+        let run = des.encrypt(PLAIN, KEY).expect("run");
+        // Rounds the reduced-round program never reaches, plus round
+        // numbers no program can emit (markers only encode 1..=16).
+        for phase in [Phase::Round(3), Phase::Round(0), Phase::Round(17), Phase::Round(255)] {
+            assert_eq!(run.phase_window(phase), None, "{phase:?}");
+            assert_eq!(run.phase_trace(phase), None, "{phase:?}");
+        }
+    }
+
+    #[test]
+    fn phase_lookup_on_empty_run_is_none() {
+        let run = EncryptionRun {
+            ciphertext: 0,
+            trace: EnergyTrace::new(),
+            stats: Default::default(),
+            markers: Vec::new(),
+        };
+        assert_eq!(run.phase_window(Phase::InitialPermutation), None);
+        assert_eq!(run.phase_trace(Phase::Round(1)), None);
+    }
+
+    #[test]
+    fn last_phase_window_extends_to_trace_end() {
+        let des = two_rounds(MaskPolicy::None);
+        let run = des.encrypt(PLAIN, KEY).expect("run");
+        let w = run.phase_window(Phase::OutputPermutation).unwrap();
+        assert_eq!(w.end, run.trace.len());
+        // A marker sitting past the recorded trace must not panic the
+        // window slice; exercise via a hand-built run.
+        let tiny = EncryptionRun {
+            ciphertext: 0,
+            trace: EnergyTrace::from_samples(vec![1.0, 2.0]),
+            stats: Default::default(),
+            markers: vec![PhaseMarker { phase: Phase::Round(1), cycle: 1 }],
+        };
+        assert_eq!(tiny.phase_trace(Phase::Round(1)).unwrap().samples(), &[2.0]);
     }
 
     #[test]
@@ -519,11 +614,7 @@ mod tests {
         // bit-for-bit identical in energy.
         let end = a.phase_window(Phase::OutputPermutation).expect("marker").start;
         let diff = a.trace.window(0..end).diff(&b.trace.window(0..end));
-        assert!(
-            diff.max_abs() < 1e-9,
-            "masked traces differ by up to {} pJ",
-            diff.max_abs()
-        );
+        assert!(diff.max_abs() < 1e-9, "masked traces differ by up to {} pJ", diff.max_abs());
     }
 
     #[test]

@@ -221,10 +221,7 @@ mod tests {
             assert_eq!(cpu.reg(r), iss.reg(r), "register {r} diverged");
         }
         // Compare a slab of data memory.
-        assert_eq!(
-            cpu.memory().read_words(DATA_BASE, 64),
-            iss.memory().read_words(DATA_BASE, 64)
-        );
+        assert_eq!(cpu.memory().read_words(DATA_BASE, 64), iss.memory().read_words(DATA_BASE, 64));
     }
 
     #[test]

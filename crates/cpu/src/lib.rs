@@ -45,11 +45,13 @@
 pub mod activity;
 pub mod interp;
 pub mod memory;
+pub mod observe;
 pub mod pipeline;
 pub mod regfile;
 
 pub use activity::{BusSample, CycleActivity, ExActivity, MemActivity};
 pub use interp::Interpreter;
 pub use memory::DataMemory;
+pub use observe::{Bus, NullObserver, PipelineObserver};
 pub use pipeline::{Cpu, CpuError, CpuErrorKind, RunResult};
 pub use regfile::RegisterFile;

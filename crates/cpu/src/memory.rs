@@ -85,7 +85,11 @@ impl DataMemory {
         assert_eq!(base % 4, 0, "image base must be word-aligned");
         let start = (base / 4) as usize;
         let end = start + image.len();
-        assert!(end <= self.words.len(), "image of {} words does not fit at {base:#X}", image.len());
+        assert!(
+            end <= self.words.len(),
+            "image of {} words does not fit at {base:#X}",
+            image.len()
+        );
         self.words[start..end].copy_from_slice(image);
     }
 

@@ -1,0 +1,306 @@
+//! Pluggable pipeline observers.
+//!
+//! A [`PipelineObserver`] receives fine-grained per-cycle callbacks as the
+//! pipeline advances: stage events (fetch, retire, stall, flush), every
+//! active bus/latch sample tagged with its [`Bus`], data-memory traffic,
+//! secure-bit usage, and finally the whole [`CycleActivity`] record. All
+//! methods have empty default bodies, so an observer implements only what
+//! it needs.
+//!
+//! Dispatch is **static**: [`crate::Cpu::run_observed`] is generic over the
+//! observer type, so with [`NullObserver`] every callback monomorphizes to
+//! an empty inlined function and the loop compiles down to exactly the
+//! plain [`crate::Cpu::run`] loop — observation is zero-cost when nothing
+//! observes.
+//!
+//! Observers compose structurally: `(A, B)` is an observer that feeds both
+//! halves in order, and `&mut O` forwards to `O`, so a borrowed observer
+//! can be threaded through nested drivers.
+
+use crate::activity::{BusSample, CycleActivity, MemActivity};
+use emask_isa::Instruction;
+
+/// Which bus or pipeline latch a [`BusSample`] was captured from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bus {
+    /// Instruction bus (fetched encoding).
+    Instruction,
+    /// Operand bus A into EX (post-forwarding).
+    OperandA,
+    /// Operand bus B into EX (post-forwarding).
+    OperandB,
+    /// Result latched into EX/MEM.
+    Result,
+    /// Data-memory bus.
+    Memory,
+    /// Value latched into MEM/WB.
+    Writeback,
+}
+
+impl Bus {
+    /// All buses, in pipeline order.
+    pub const ALL: [Bus; 6] =
+        [Bus::Instruction, Bus::OperandA, Bus::OperandB, Bus::Result, Bus::Memory, Bus::Writeback];
+
+    /// A short stable name (used in trace exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Bus::Instruction => "inst",
+            Bus::OperandA => "op_a",
+            Bus::OperandB => "op_b",
+            Bus::Result => "result",
+            Bus::Memory => "mem",
+            Bus::Writeback => "wb",
+        }
+    }
+}
+
+/// Per-cycle pipeline event callbacks. All defaults are no-ops.
+///
+/// For each simulated cycle the driver fires, in order: [`on_fetch`],
+/// [`on_bus`] for every *active* sample, [`on_mem`], [`on_retire`],
+/// [`on_stall`], [`on_flush`], [`on_secure`], then [`on_cycle`] with the
+/// complete record.
+///
+/// [`on_fetch`]: PipelineObserver::on_fetch
+/// [`on_bus`]: PipelineObserver::on_bus
+/// [`on_mem`]: PipelineObserver::on_mem
+/// [`on_retire`]: PipelineObserver::on_retire
+/// [`on_stall`]: PipelineObserver::on_stall
+/// [`on_flush`]: PipelineObserver::on_flush
+/// [`on_secure`]: PipelineObserver::on_secure
+/// [`on_cycle`]: PipelineObserver::on_cycle
+pub trait PipelineObserver {
+    /// The fetch stage issued `pc` this cycle.
+    fn on_fetch(&mut self, cycle: u64, pc: u32) {
+        let _ = (cycle, pc);
+    }
+
+    /// An active bus/latch sample.
+    fn on_bus(&mut self, cycle: u64, bus: Bus, sample: BusSample) {
+        let _ = (cycle, bus, sample);
+    }
+
+    /// The MEM stage accessed data memory.
+    fn on_mem(&mut self, cycle: u64, mem: &MemActivity) {
+        let _ = (cycle, mem);
+    }
+
+    /// `inst` completed write-back this cycle.
+    fn on_retire(&mut self, cycle: u64, inst: &Instruction) {
+        let _ = (cycle, inst);
+    }
+
+    /// The decode stage stalled (load-use interlock).
+    fn on_stall(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// `squashed` wrong-path instructions were flushed this cycle.
+    fn on_flush(&mut self, cycle: u64, squashed: u8) {
+        let _ = (cycle, squashed);
+    }
+
+    /// At least one stage carried a secure (dual-rail) value this cycle.
+    fn on_secure(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// The complete activity record, after the fine-grained events.
+    fn on_cycle(&mut self, act: &CycleActivity) {
+        let _ = act;
+    }
+}
+
+/// The do-nothing observer. [`crate::Cpu::run_observed`] with this type
+/// compiles to the same loop as [`crate::Cpu::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl PipelineObserver for NullObserver {}
+
+impl<O: PipelineObserver + ?Sized> PipelineObserver for &mut O {
+    fn on_fetch(&mut self, cycle: u64, pc: u32) {
+        (**self).on_fetch(cycle, pc);
+    }
+    fn on_bus(&mut self, cycle: u64, bus: Bus, sample: BusSample) {
+        (**self).on_bus(cycle, bus, sample);
+    }
+    fn on_mem(&mut self, cycle: u64, mem: &MemActivity) {
+        (**self).on_mem(cycle, mem);
+    }
+    fn on_retire(&mut self, cycle: u64, inst: &Instruction) {
+        (**self).on_retire(cycle, inst);
+    }
+    fn on_stall(&mut self, cycle: u64) {
+        (**self).on_stall(cycle);
+    }
+    fn on_flush(&mut self, cycle: u64, squashed: u8) {
+        (**self).on_flush(cycle, squashed);
+    }
+    fn on_secure(&mut self, cycle: u64) {
+        (**self).on_secure(cycle);
+    }
+    fn on_cycle(&mut self, act: &CycleActivity) {
+        (**self).on_cycle(act);
+    }
+}
+
+impl<A: PipelineObserver, B: PipelineObserver> PipelineObserver for (A, B) {
+    fn on_fetch(&mut self, cycle: u64, pc: u32) {
+        self.0.on_fetch(cycle, pc);
+        self.1.on_fetch(cycle, pc);
+    }
+    fn on_bus(&mut self, cycle: u64, bus: Bus, sample: BusSample) {
+        self.0.on_bus(cycle, bus, sample);
+        self.1.on_bus(cycle, bus, sample);
+    }
+    fn on_mem(&mut self, cycle: u64, mem: &MemActivity) {
+        self.0.on_mem(cycle, mem);
+        self.1.on_mem(cycle, mem);
+    }
+    fn on_retire(&mut self, cycle: u64, inst: &Instruction) {
+        self.0.on_retire(cycle, inst);
+        self.1.on_retire(cycle, inst);
+    }
+    fn on_stall(&mut self, cycle: u64) {
+        self.0.on_stall(cycle);
+        self.1.on_stall(cycle);
+    }
+    fn on_flush(&mut self, cycle: u64, squashed: u8) {
+        self.0.on_flush(cycle, squashed);
+        self.1.on_flush(cycle, squashed);
+    }
+    fn on_secure(&mut self, cycle: u64) {
+        self.0.on_secure(cycle);
+        self.1.on_secure(cycle);
+    }
+    fn on_cycle(&mut self, act: &CycleActivity) {
+        self.0.on_cycle(act);
+        self.1.on_cycle(act);
+    }
+}
+
+/// Fires the fine-grained events derived from one activity record, in the
+/// documented order, ending with [`PipelineObserver::on_cycle`].
+pub fn dispatch<O: PipelineObserver>(obs: &mut O, act: &CycleActivity) {
+    let cycle = act.cycle;
+    if let Some(pc) = act.fetch_pc {
+        obs.on_fetch(cycle, pc);
+    }
+    for (bus, sample) in [
+        (Bus::Instruction, act.inst_word),
+        (Bus::OperandA, act.id_ex_a),
+        (Bus::OperandB, act.id_ex_b),
+        (Bus::Result, act.ex_mem_result),
+        (Bus::Memory, act.mem_bus),
+        (Bus::Writeback, act.mem_wb_value),
+    ] {
+        if sample.active {
+            obs.on_bus(cycle, bus, sample);
+        }
+    }
+    if let Some(mem) = &act.mem {
+        obs.on_mem(cycle, mem);
+    }
+    if let Some(inst) = &act.retired {
+        obs.on_retire(cycle, inst);
+    }
+    if act.stalled {
+        obs.on_stall(cycle);
+    }
+    if act.flushed > 0 {
+        obs.on_flush(cycle, act.flushed);
+    }
+    if act.any_secure() {
+        obs.on_secure(cycle);
+    }
+    obs.on_cycle(act);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::BusSample;
+
+    #[derive(Default)]
+    struct Counter {
+        fetches: u32,
+        buses: u32,
+        retires: u32,
+        stalls: u32,
+        flushes: u32,
+        secures: u32,
+        cycles: u32,
+    }
+
+    impl PipelineObserver for Counter {
+        fn on_fetch(&mut self, _c: u64, _pc: u32) {
+            self.fetches += 1;
+        }
+        fn on_bus(&mut self, _c: u64, _b: Bus, _s: BusSample) {
+            self.buses += 1;
+        }
+        fn on_retire(&mut self, _c: u64, _i: &Instruction) {
+            self.retires += 1;
+        }
+        fn on_stall(&mut self, _c: u64) {
+            self.stalls += 1;
+        }
+        fn on_flush(&mut self, _c: u64, _n: u8) {
+            self.flushes += 1;
+        }
+        fn on_secure(&mut self, _c: u64) {
+            self.secures += 1;
+        }
+        fn on_cycle(&mut self, _a: &CycleActivity) {
+            self.cycles += 1;
+        }
+    }
+
+    #[test]
+    fn dispatch_fires_only_what_happened() {
+        let mut act = CycleActivity::idle(3);
+        act.fetch_pc = Some(8);
+        act.inst_word = BusSample::new(0xDEAD, true);
+        act.stalled = true;
+        let mut c = Counter::default();
+        dispatch(&mut c, &act);
+        assert_eq!(c.fetches, 1);
+        assert_eq!(c.buses, 1);
+        assert_eq!(c.retires, 0);
+        assert_eq!(c.stalls, 1);
+        assert_eq!(c.flushes, 0);
+        assert_eq!(c.secures, 1); // inst_word is active + secure
+        assert_eq!(c.cycles, 1);
+    }
+
+    #[test]
+    fn pair_composition_feeds_both() {
+        let mut act = CycleActivity::idle(0);
+        act.flushed = 2;
+        let mut pair = (Counter::default(), Counter::default());
+        dispatch(&mut pair, &act);
+        assert_eq!(pair.0.flushes, 1);
+        assert_eq!(pair.1.flushes, 1);
+        // And via &mut forwarding.
+        let mut single = Counter::default();
+        dispatch(&mut &mut single, &act);
+        assert_eq!(single.flushes, 1);
+    }
+
+    #[test]
+    fn null_observer_accepts_everything() {
+        let mut act = CycleActivity::idle(0);
+        act.fetch_pc = Some(0);
+        act.flushed = 2;
+        act.stalled = true;
+        dispatch(&mut NullObserver, &act);
+    }
+
+    #[test]
+    fn bus_names_are_unique() {
+        let names: std::collections::BTreeSet<_> = Bus::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), Bus::ALL.len());
+    }
+}

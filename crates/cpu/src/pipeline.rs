@@ -2,6 +2,7 @@
 
 use crate::activity::{BusSample, CycleActivity, ExActivity, MemActivity};
 use crate::memory::{AccessError, DataMemory};
+use crate::observe::PipelineObserver;
 use crate::regfile::RegisterFile;
 use emask_isa::program::{DATA_BASE, MEM_SIZE, STACK_TOP};
 use emask_isa::{encode, Instruction, Op, OpClass, Program, Reg};
@@ -261,6 +262,32 @@ impl Cpu {
         Ok(self.stats)
     }
 
+    /// Runs to completion, firing [`PipelineObserver`] events every cycle.
+    ///
+    /// Dispatch is static: the call is monomorphized per observer type, so
+    /// [`crate::NullObserver`] makes this identical to [`Cpu::run`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cpu::run`].
+    pub fn run_observed<O: PipelineObserver>(
+        &mut self,
+        max_cycles: u64,
+        obs: &mut O,
+    ) -> Result<RunResult, CpuError> {
+        while !self.halted {
+            if self.cycle >= max_cycles {
+                return Err(CpuError {
+                    cycle: self.cycle,
+                    kind: CpuErrorKind::CycleLimit { limit: max_cycles },
+                });
+            }
+            let activity = self.step()?;
+            crate::observe::dispatch(obs, &activity);
+        }
+        Ok(self.stats)
+    }
+
     /// Advances the pipeline one clock cycle.
     ///
     /// # Errors
@@ -303,7 +330,8 @@ impl Cpu {
             let inst = ex_mem.inst;
             let value = match inst.class() {
                 OpClass::Load => {
-                    let v = self.mem.load(ex_mem.alu).map_err(|e| fault(CpuErrorKind::Memory(e)))?;
+                    let v =
+                        self.mem.load(ex_mem.alu).map_err(|e| fault(CpuErrorKind::Memory(e)))?;
                     act.mem = Some(MemActivity {
                         is_store: false,
                         addr: ex_mem.alu,
@@ -363,15 +391,13 @@ impl Cpu {
             act.id_ex_b = BusSample::new(b_reg, inst.secure);
             let imm = inst.imm;
             let (alu_a, alu_b) = alu_inputs(&inst, a, b_reg, imm);
-            let alu = alu_exec(inst.op, alu_a, alu_b)
-                .ok_or_else(|| fault(CpuErrorKind::DivideByZero))?;
+            let alu =
+                alu_exec(inst.op, alu_a, alu_b).ok_or_else(|| fault(CpuErrorKind::DivideByZero))?;
             // Control flow resolves here.
             match inst.class() {
-                OpClass::Branch
-                    if branch_taken(inst.op, a, b_reg) => {
-                        redirect =
-                            Some((id_ex.pc as i64 + 1 + i64::from(imm)) as u32);
-                    }
+                OpClass::Branch if branch_taken(inst.op, a, b_reg) => {
+                    redirect = Some((id_ex.pc as i64 + 1 + i64::from(imm)) as u32);
+                }
                 OpClass::Jump => {
                     redirect = Some(match inst.op {
                         Op::J | Op::Jal => inst.target,
@@ -561,7 +587,9 @@ mod tests {
 
     #[test]
     fn straight_line_arithmetic() {
-        let cpu = run_asm(".text\n li $t0, 6\n li $t1, 7\n addu $t2, $t0, $t1\n subu $t3, $t0, $t1\n halt\n");
+        let cpu = run_asm(
+            ".text\n li $t0, 6\n li $t1, 7\n addu $t2, $t0, $t1\n subu $t3, $t0, $t1\n halt\n",
+        );
         assert_eq!(cpu.reg(Reg::T2), 13);
         assert_eq!(cpu.reg(Reg::T3), (-1i32) as u32);
     }
@@ -634,7 +662,8 @@ mod tests {
 
     #[test]
     fn not_taken_branch_flushes_nothing() {
-        let p = assemble(".text\n li $t0, 1\n bne $t0, $t0, skip\n li $t1, 4\nskip: halt\n").unwrap();
+        let p =
+            assemble(".text\n li $t0, 1\n bne $t0, $t0, skip\n li $t1, 4\nskip: halt\n").unwrap();
         let mut cpu = Cpu::new(&p);
         let r = cpu.run(1000).unwrap();
         assert_eq!(cpu.reg(Reg::T1), 4);

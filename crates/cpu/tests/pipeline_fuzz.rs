@@ -40,12 +40,9 @@ fn build(steps: &[Step]) -> Program {
     // data segment).
     for s in steps {
         let inst = match *s {
-            Step::Alu { op_idx, rd, rs, rt } => Instruction::r(
-                alu_ops[op_idx as usize % alu_ops.len()],
-                reg(rd),
-                reg(rs),
-                reg(rt),
-            ),
+            Step::Alu { op_idx, rd, rs, rt } => {
+                Instruction::r(alu_ops[op_idx as usize % alu_ops.len()], reg(rd), reg(rs), reg(rt))
+            }
             Step::Li { rd, imm } => Instruction::i(Op::Addiu, reg(rd), Reg::Zero, i32::from(imm)),
             Step::Shift { op_idx, rd, rt, shamt } => Instruction::shift(
                 shift_ops[op_idx as usize % shift_ops.len()],
@@ -53,12 +50,8 @@ fn build(steps: &[Step]) -> Program {
                 reg(rt),
                 u32::from(shamt % 32),
             ),
-            Step::Load { rd, slot } => {
-                Instruction::lw(reg(rd), 4 * i32::from(slot % 64), Reg::Gp)
-            }
-            Step::Store { rt, slot } => {
-                Instruction::sw(reg(rt), 4 * i32::from(slot % 64), Reg::Gp)
-            }
+            Step::Load { rd, slot } => Instruction::lw(reg(rd), 4 * i32::from(slot % 64), Reg::Gp),
+            Step::Store { rt, slot } => Instruction::sw(reg(rt), 4 * i32::from(slot % 64), Reg::Gp),
             Step::SecureXor { rd, rs, rt } => {
                 Instruction::r(Op::Xor, reg(rd), reg(rs), reg(rt)).into_secure()
             }
@@ -78,8 +71,11 @@ fn step_strategy() -> impl Strategy<Value = Step> {
             .prop_map(|(op_idx, rd, rt, shamt)| Step::Shift { op_idx, rd, rt, shamt }),
         (any::<u8>(), any::<u8>()).prop_map(|(rd, slot)| Step::Load { rd, slot }),
         (any::<u8>(), any::<u8>()).prop_map(|(rt, slot)| Step::Store { rt, slot }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(rd, rs, rt)| Step::SecureXor { rd, rs, rt }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(rd, rs, rt)| Step::SecureXor {
+            rd,
+            rs,
+            rt
+        }),
     ]
 }
 

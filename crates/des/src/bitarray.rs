@@ -110,17 +110,7 @@ impl BitArrayState {
             c[i] = keyw[(PC1[i] - 1) as usize];
             d[i] = keyw[(PC1[i + 28] - 1) as usize];
         }
-        Self {
-            l,
-            r,
-            c,
-            d,
-            k: [0; 48],
-            er: [0; 48],
-            xored: [0; 48],
-            sout: [0; 32],
-            f: [0; 32],
-        }
+        Self { l, r, c, d, k: [0; 48], er: [0; 48], xored: [0; 48], sout: [0; 32], f: [0; 32] }
     }
 
     /// Executes one round (`m` in `1..=16`): key generation (rotate + PC-2),

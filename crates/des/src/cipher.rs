@@ -69,12 +69,7 @@ impl Des {
     pub fn encrypt_block_traced(&self, plaintext: u64) -> (u64, RoundTrace) {
         let permuted = permute(plaintext, 64, &IP);
         let (mut l, mut r) = split64(permuted);
-        let mut trace = RoundTrace {
-            l: [0; 17],
-            r: [0; 17],
-            f_out: [0; 16],
-            sbox_in: [0; 16],
-        };
+        let mut trace = RoundTrace { l: [0; 17], r: [0; 17], f_out: [0; 16], sbox_in: [0; 16] };
         trace.l[0] = l;
         trace.r[0] = r;
         for round in 0..16 {
@@ -225,8 +220,12 @@ mod tests {
     #[test]
     fn weak_keys_are_self_inverse() {
         // Encrypting twice with a weak key is the identity.
-        for key in [0x0101_0101_0101_0101u64, 0xFEFE_FEFE_FEFE_FEFE, 0xE0E0_E0E0_F1F1_F1F1, 0x1F1F_1F1F_0E0E_0E0E]
-        {
+        for key in [
+            0x0101_0101_0101_0101u64,
+            0xFEFE_FEFE_FEFE_FEFE,
+            0xE0E0_E0E0_F1F1_F1F1,
+            0x1F1F_1F1F_0E0E_0E0E,
+        ] {
             let des = Des::new(key);
             let p = 0xDEAD_BEEF_0BAD_F00D;
             assert_eq!(des.encrypt_block(des.encrypt_block(p)), p, "weak key {key:016X}");

@@ -272,7 +272,10 @@ mod tests {
             assert!(KeySchedule::new_checked(fixed).is_ok());
             // Effective (non-parity) bits are untouched.
             for byte in 0..8 {
-                assert_eq!((fixed >> (56 - 8 * byte)) as u8 >> 1, (k >> (56 - 8 * byte)) as u8 >> 1);
+                assert_eq!(
+                    (fixed >> (56 - 8 * byte)) as u8 >> 1,
+                    (k >> (56 - 8 * byte)) as u8 >> 1
+                );
             }
         }
     }

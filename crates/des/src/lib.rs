@@ -51,5 +51,5 @@ pub use cipher::{Des, RoundTrace};
 pub use key::{KeySchedule, ParityError, RoundKey};
 pub use modes::{Cbc, Ecb, PadError};
 pub use stream_modes::{Cfb, Ctr, Ofb};
-pub use weak::{is_semiweak_key, is_weak_key, semiweak_partner};
 pub use tdes::TripleDes;
+pub use weak::{is_semiweak_key, is_weak_key, semiweak_partner};

@@ -89,8 +89,7 @@ impl Cfb {
         let mut state = self.iv;
         for chunk in data.chunks(8) {
             let keystream = self.des.encrypt_block(state).to_be_bytes();
-            let cipher: Vec<u8> =
-                chunk.iter().zip(keystream.iter()).map(|(d, k)| d ^ k).collect();
+            let cipher: Vec<u8> = chunk.iter().zip(keystream.iter()).map(|(d, k)| d ^ k).collect();
             // Feedback: the ciphertext block (zero-padded when partial).
             let mut fb = [0u8; 8];
             fb[..cipher.len()].copy_from_slice(&cipher);

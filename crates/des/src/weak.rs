@@ -8,12 +8,8 @@ use crate::key::KeySchedule;
 
 /// The four weak keys (odd-parity form): every round key is identical, so
 /// `E_k(E_k(x)) = x`.
-pub const WEAK_KEYS: [u64; 4] = [
-    0x0101_0101_0101_0101,
-    0xFEFE_FEFE_FEFE_FEFE,
-    0xE0E0_E0E0_F1F1_F1F1,
-    0x1F1F_1F1F_0E0E_0E0E,
-];
+pub const WEAK_KEYS: [u64; 4] =
+    [0x0101_0101_0101_0101, 0xFEFE_FEFE_FEFE_FEFE, 0xE0E0_E0E0_F1F1_F1F1, 0x1F1F_1F1F_0E0E_0E0E];
 
 /// The six semi-weak key pairs (odd-parity form): `E_k2(E_k1(x)) = x`.
 pub const SEMIWEAK_PAIRS: [(u64, u64); 6] = [

@@ -159,8 +159,7 @@ impl BusState {
                 // No pre-charge: true + complement lines both toggle.
                 // Doubled energy, still data-dependent — the leak the
                 // ablation study demonstrates.
-                let cost = 2.0 * toggles * e
-                    + ec * adjacent_disagreements(self.prev ^ s.value);
+                let cost = 2.0 * toggles * e + ec * adjacent_disagreements(self.prev ^ s.value);
                 self.prev = s.value;
                 cost
             }
@@ -170,9 +169,7 @@ impl BusState {
                 // directions pay the Miller-doubled capacitance; modelled
                 // as proportional to adjacent disagreement of the
                 // transition pattern.
-                let cost = toggles * e
-                    + ec * adjacent_disagreements(self.prev ^ s.value)
-                    + ungated;
+                let cost = toggles * e + ec * adjacent_disagreements(self.prev ^ s.value) + ungated;
                 self.prev = s.value;
                 cost
             }
@@ -239,8 +236,7 @@ impl EnergyModel {
         // Functional units.
         if let Some(ex) = act.ex {
             if let Some(unit) = FunctionalUnit::for_op(ex.op) {
-                c.functional_units =
-                    self.units.operate(&p, unit, ex.a, ex.b, ex.result, ex.secure);
+                c.functional_units = self.units.operate(&p, unit, ex.a, ex.b, ex.result, ex.secure);
             }
         }
 
@@ -296,28 +292,20 @@ mod tests {
     fn secure_load_energy_is_data_independent() {
         // Two programs loading very different words through a secure load
         // must consume identical energy on the memory bus.
-        let src = |v: u32| {
-            format!(".data\nv: .word {v}\n.text\n la $t0, v\n slw $t1, 0($t0)\n halt\n")
-        };
+        let src =
+            |v: u32| format!(".data\nv: .word {v}\n.text\n la $t0, v\n slw $t1, 0($t0)\n halt\n");
         let (e_zero, _) = run_energy(&src(0));
         let (e_ones, _) = run_energy(&src(0xFFFF_FFFF));
-        assert!(
-            (e_zero - e_ones).abs() < 1e-9,
-            "secure load leaked: {e_zero} vs {e_ones}"
-        );
+        assert!((e_zero - e_ones).abs() < 1e-9, "secure load leaked: {e_zero} vs {e_ones}");
     }
 
     #[test]
     fn normal_load_energy_leaks_the_data() {
-        let src = |v: u32| {
-            format!(".data\nv: .word {v}\n.text\n la $t0, v\n lw $t1, 0($t0)\n halt\n")
-        };
+        let src =
+            |v: u32| format!(".data\nv: .word {v}\n.text\n la $t0, v\n lw $t1, 0($t0)\n halt\n");
         let (e_zero, _) = run_energy(&src(0));
         let (e_ones, _) = run_energy(&src(0xFFFF_FFFF));
-        assert!(
-            (e_zero - e_ones).abs() > 1.0,
-            "normal load should leak: {e_zero} vs {e_ones}"
-        );
+        assert!((e_zero - e_ones).abs() > 1.0, "normal load should leak: {e_zero} vs {e_ones}");
     }
 
     #[test]
@@ -331,9 +319,8 @@ mod tests {
 
     #[test]
     fn complement_only_style_still_leaks_loads() {
-        let src = |v: u32| {
-            format!(".data\nv: .word {v}\n.text\n la $t0, v\n slw $t1, 0($t0)\n halt\n")
-        };
+        let src =
+            |v: u32| format!(".data\nv: .word {v}\n.text\n la $t0, v\n slw $t1, 0($t0)\n halt\n");
         let run = |s: &str| {
             let p = assemble(s).unwrap();
             let mut cpu = Cpu::new(&p);
@@ -375,9 +362,7 @@ mod tests {
         let mut params = EnergyParams::calibrated();
         params.coupling_cap_pf = 0.05;
         let run = |v: u32| {
-            let src = format!(
-                ".data\nv: .word {v}\n.text\n la $t0, v\n slw $t1, 0($t0)\n halt\n"
-            );
+            let src = format!(".data\nv: .word {v}\n.text\n la $t0, v\n slw $t1, 0($t0)\n halt\n");
             let p = assemble(&src).unwrap();
             let mut cpu = Cpu::new(&p);
             let mut model = EnergyModel::with_params(params);
@@ -398,9 +383,7 @@ mod tests {
     #[test]
     fn without_coupling_the_same_pair_is_indistinguishable() {
         let run = |v: u32| {
-            let src = format!(
-                ".data\nv: .word {v}\n.text\n la $t0, v\n slw $t1, 0($t0)\n halt\n"
-            );
+            let src = format!(".data\nv: .word {v}\n.text\n la $t0, v\n slw $t1, 0($t0)\n halt\n");
             let p = assemble(&src).unwrap();
             let mut cpu = Cpu::new(&p);
             let mut model = EnergyModel::new();

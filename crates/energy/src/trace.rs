@@ -86,8 +86,7 @@ impl EnergyTrace {
     /// Pointwise difference `self - other`, truncated to the shorter trace
     /// — the differential traces of Figures 7–11.
     pub fn diff(&self, other: &EnergyTrace) -> EnergyTrace {
-        let samples =
-            self.samples.iter().zip(&other.samples).map(|(a, b)| a - b).collect();
+        let samples = self.samples.iter().zip(&other.samples).map(|(a, b)| a - b).collect();
         EnergyTrace { samples }
     }
 
@@ -164,13 +163,10 @@ impl EnergyTrace {
             if line.trim().is_empty() {
                 continue;
             }
-            let (_, pj) = line
-                .split_once(',')
-                .ok_or_else(|| format!("line {}: missing comma", ln + 1))?;
-            let v: f64 = pj
-                .trim()
-                .parse()
-                .map_err(|_| format!("line {}: bad sample `{pj}`", ln + 1))?;
+            let (_, pj) =
+                line.split_once(',').ok_or_else(|| format!("line {}: missing comma", ln + 1))?;
+            let v: f64 =
+                pj.trim().parse().map_err(|_| format!("line {}: bad sample `{pj}`", ln + 1))?;
             samples.push(v);
         }
         Ok(EnergyTrace { samples })
@@ -287,6 +283,62 @@ mod tests {
     fn window_extracts_range() {
         let tr = t(&[0.0, 1.0, 2.0, 3.0]);
         assert_eq!(tr.window(1..3).samples(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn bucket_wider_than_trace_sums_everything_into_one() {
+        let tr = t(&[1.0, 2.0, 3.0]);
+        assert_eq!(tr.bucketed(100), vec![6.0]);
+    }
+
+    #[test]
+    fn bucketing_empty_trace_is_empty() {
+        assert!(EnergyTrace::new().bucketed(5).is_empty());
+    }
+
+    #[test]
+    fn diff_with_empty_is_empty() {
+        let a = t(&[5.0, 5.0]);
+        let empty = EnergyTrace::new();
+        assert!(a.diff(&empty).is_empty());
+        assert!(empty.diff(&a).is_empty());
+    }
+
+    #[test]
+    fn diff_is_anticommutative() {
+        let a = t(&[5.0, 1.0]);
+        let b = t(&[2.0, 4.0]);
+        assert_eq!(a.diff(&b).samples(), &[3.0, -3.0]);
+        assert_eq!(b.diff(&a).samples(), &[-3.0, 3.0]);
+    }
+
+    #[test]
+    fn window_full_range_is_identity() {
+        let tr = t(&[0.0, 1.0, 2.0]);
+        assert_eq!(tr.window(0..3), tr);
+    }
+
+    #[test]
+    fn window_empty_range_is_empty() {
+        assert!(t(&[0.0, 1.0]).window(1..1).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn window_past_end_panics() {
+        t(&[0.0, 1.0]).window(1..5);
+    }
+
+    #[test]
+    fn windows_tile_the_trace() {
+        // Adjacent windows partition the samples exactly — the invariant
+        // phase_trace() relies on when splitting a run at its markers.
+        let tr = t(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let parts = [tr.window(0..2), tr.window(2..4), tr.window(4..5)];
+        let glued: Vec<f64> = parts.iter().flat_map(|w| w.samples().to_vec()).collect();
+        assert_eq!(glued, tr.samples());
+        let part_total: f64 = parts.iter().map(EnergyTrace::total_pj).sum();
+        assert!((part_total - tr.total_pj()).abs() < 1e-12);
     }
 
     #[test]

@@ -30,8 +30,8 @@ impl FunctionalUnit {
     pub fn for_op(op: Op) -> Option<FunctionalUnit> {
         use Op::*;
         Some(match op {
-            Addu | Subu | Addiu | Slt | Sltu | Slti | Sltiu | Lw | Sw | Beq | Bne | Blez
-            | Bgtz | Bltz | Bgez => FunctionalUnit::Adder,
+            Addu | Subu | Addiu | Slt | Sltu | Slti | Sltiu | Lw | Sw | Beq | Bne | Blez | Bgtz
+            | Bltz | Bgez => FunctionalUnit::Adder,
             And | Or | Xor | Nor | Andi | Ori | Xori => FunctionalUnit::Logic,
             Sll | Srl | Sra | Sllv | Srlv | Srav | Lui => FunctionalUnit::Shifter,
             Mul | Div | Rem => FunctionalUnit::MulDiv,
@@ -125,9 +125,8 @@ mod tests {
     fn every_datapath_op_maps_to_a_unit() {
         use Op::*;
         for op in [
-            Addu, Subu, And, Or, Xor, Nor, Sllv, Srlv, Srav, Slt, Sltu, Mul, Div, Rem, Addiu,
-            Andi, Ori, Xori, Slti, Sltiu, Lui, Sll, Srl, Sra, Lw, Sw, Beq, Bne, Blez, Bgtz, Bltz,
-            Bgez,
+            Addu, Subu, And, Or, Xor, Nor, Sllv, Srlv, Srav, Slt, Sltu, Mul, Div, Rem, Addiu, Andi,
+            Ori, Xori, Slti, Sltiu, Lui, Sll, Srl, Sra, Lw, Sw, Beq, Bne, Blez, Bgtz, Bltz, Bgez,
         ] {
             assert!(FunctionalUnit::for_op(op).is_some(), "{op}");
         }
@@ -177,8 +176,7 @@ mod tests {
         let mut st = UnitState::new();
         st.operate(&p, FunctionalUnit::Logic, 0, 0, 0, false);
         let no_change = st.operate(&p, FunctionalUnit::Logic, 0, 0, 0, false);
-        let full_flip =
-            st.operate(&p, FunctionalUnit::Logic, u32::MAX, u32::MAX, u32::MAX, false);
+        let full_flip = st.operate(&p, FunctionalUnit::Logic, u32::MAX, u32::MAX, u32::MAX, false);
         assert!(full_flip > no_change, "toggling must cost energy");
     }
 

@@ -138,8 +138,7 @@ impl Assembler {
                         data_offset += 4 * values.len() as u32;
                     }
                     "space" => {
-                        let n = parse_imm(args.trim())
-                            .map_err(|m| err(line_no, m))? as u32;
+                        let n = parse_imm(args.trim()).map_err(|m| err(line_no, m))? as u32;
                         if !n.is_multiple_of(4) {
                             return Err(err(line_no, ".space must be word-aligned".into()));
                         }
@@ -167,9 +166,8 @@ impl Assembler {
             let (mnemonic, secure) = resolve_secure(raw_mnemonic);
             let operands: Vec<&str> =
                 rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
-            let size = pseudo_size(mnemonic, &operands).ok_or_else(|| {
-                err(line_no, format!("unknown mnemonic `{raw_mnemonic}`"))
-            })?;
+            let size = pseudo_size(mnemonic, &operands)
+                .ok_or_else(|| err(line_no, format!("unknown mnemonic `{raw_mnemonic}`")))?;
             pending.push(PendingInst { line_no, mnemonic, secure, operands, index: text_index });
             text_index += size;
         }
@@ -213,9 +211,8 @@ impl Assembler {
         let reg = |s: &str| -> Result<Reg, AssembleError> {
             s.parse::<Reg>().map_err(|e| err(line, e.to_string()))
         };
-        let imm = |s: &str| -> Result<i32, AssembleError> {
-            parse_imm(s).map_err(|m| err(line, m))
-        };
+        let imm =
+            |s: &str| -> Result<i32, AssembleError> { parse_imm(s).map_err(|m| err(line, m)) };
         let sec = p.secure;
         let push = |out: &mut Vec<Instruction>, i: Instruction| out.push(i.with_secure(sec));
 
@@ -317,7 +314,8 @@ impl Assembler {
                 push(out, i);
             }
             m => {
-                let op = mnemonic_op(m).ok_or_else(|| err(line, format!("unknown mnemonic `{m}`")))?;
+                let op =
+                    mnemonic_op(m).ok_or_else(|| err(line, format!("unknown mnemonic `{m}`")))?;
                 match op.class() {
                     OpClass::AluReg => {
                         need(3)?;
@@ -546,10 +544,9 @@ mod tests {
 
     #[test]
     fn data_words_and_labels() {
-        let p = assemble(
-            ".data\ntbl: .word 1, 2, 0x10\nbuf: .space 8\nend: .word -1\n.text\nhalt\n",
-        )
-        .unwrap();
+        let p =
+            assemble(".data\ntbl: .word 1, 2, 0x10\nbuf: .space 8\nend: .word -1\n.text\nhalt\n")
+                .unwrap();
         assert_eq!(p.data_addr("tbl"), DATA_BASE);
         assert_eq!(p.data_addr("buf"), DATA_BASE + 12);
         assert_eq!(p.data_addr("end"), DATA_BASE + 20);
@@ -595,8 +592,10 @@ mod tests {
 
     #[test]
     fn li_chooses_shortest_form() {
-        let p = assemble(".text\n li $t0, 5\n li $t1, -5\n li $t2, 0x8000\n li $t3, 0x12345678\n halt\n")
-            .unwrap();
+        let p = assemble(
+            ".text\n li $t0, 5\n li $t1, -5\n li $t2, 0x8000\n li $t3, 0x12345678\n halt\n",
+        )
+        .unwrap();
         // 1 + 1 + 1 + 2 + 1 instructions.
         assert_eq!(p.text.len(), 6);
         assert_eq!(p.text[0].op, Op::Addiu);
@@ -716,8 +715,8 @@ mod tests {
         ];
         for inst in samples {
             let text = format!(".text\n {inst}\n halt\n");
-            let p = assemble(&text)
-                .unwrap_or_else(|e| panic!("`{inst}` failed to reassemble: {e}"));
+            let p =
+                assemble(&text).unwrap_or_else(|e| panic!("`{inst}` failed to reassemble: {e}"));
             assert_eq!(p.text[0], inst, "round trip changed `{inst}`");
         }
     }

@@ -190,8 +190,7 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
     } else {
         let op = op_from_opcode(opc).ok_or(err)?;
         let raw = word & 0xFFFF;
-        let imm =
-            if op.zero_extends_imm() { raw as i32 } else { i32::from(raw as u16 as i16) };
+        let imm = if op.zero_extends_imm() { raw as i32 } else { i32::from(raw as u16 as i16) };
         match op.class() {
             OpClass::AluImm => Instruction::i(op, rt, rs, imm),
             OpClass::Load => Instruction::lw(rt, imm, rs),
@@ -211,11 +210,7 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
 ///
 /// Returns `(index, DecodeError)` for the first undecodable word.
 pub fn disassemble(words: &[u32]) -> Result<Vec<Instruction>, (usize, DecodeError)> {
-    words
-        .iter()
-        .enumerate()
-        .map(|(i, &w)| decode(w).map_err(|e| (i, e)))
-        .collect()
+    words.iter().enumerate().map(|(i, &w)| decode(w).map_err(|e| (i, e))).collect()
 }
 
 #[cfg(test)]

@@ -495,13 +495,19 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Instruction::r(Op::Xor, Reg::T0, Reg::T1, Reg::T2).to_string(), "xor $t0, $t1, $t2");
+        assert_eq!(
+            Instruction::r(Op::Xor, Reg::T0, Reg::T1, Reg::T2).to_string(),
+            "xor $t0, $t1, $t2"
+        );
         assert_eq!(
             Instruction::r(Op::Xor, Reg::T0, Reg::T1, Reg::T2).into_secure().to_string(),
             "sxor $t0, $t1, $t2"
         );
         assert_eq!(Instruction::lw(Reg::T3, -4, Reg::Sp).to_string(), "lw $t3, -4($sp)");
-        assert_eq!(Instruction::lw(Reg::T3, -4, Reg::Sp).into_secure().to_string(), "slw $t3, -4($sp)");
+        assert_eq!(
+            Instruction::lw(Reg::T3, -4, Reg::Sp).into_secure().to_string(),
+            "slw $t3, -4($sp)"
+        );
         assert_eq!(Instruction::nop().to_string(), "nop");
         assert_eq!(Instruction::halt().to_string(), "halt");
         assert_eq!(
@@ -546,9 +552,9 @@ mod tests {
     fn classes_cover_all_ops() {
         use Op::*;
         for op in [
-            Addu, Subu, And, Or, Xor, Nor, Sllv, Srlv, Srav, Slt, Sltu, Mul, Div, Rem, Addiu,
-            Andi, Ori, Xori, Slti, Sltiu, Lui, Sll, Srl, Sra, Lw, Sw, Beq, Bne, Blez, Bgtz, Bltz,
-            Bgez, J, Jal, Jr, Jalr, Halt,
+            Addu, Subu, And, Or, Xor, Nor, Sllv, Srlv, Srav, Slt, Sltu, Mul, Div, Rem, Addiu, Andi,
+            Ori, Xori, Slti, Sltiu, Lui, Sll, Srl, Sra, Lw, Sw, Beq, Bne, Blez, Bgtz, Bltz, Bgez,
+            J, Jal, Jr, Jalr, Halt,
         ] {
             // class() must be total; mnemonics must be unique.
             let _ = op.class();

@@ -1,0 +1,236 @@
+//! CSV and human-readable exports.
+//!
+//! * [`CycleCsv`] — a [`RunObserver`] that streams every cycle's
+//!   per-component energy into a CSV document;
+//! * [`metrics_csv`] — per-phase × per-component energy totals from a
+//!   [`MetricsSnapshot`] (the `--metrics-out` format);
+//! * [`summary`] — the human-readable run report behind `--summary`.
+
+use crate::metrics::{op_class_name, MetricsSnapshot, OP_CLASSES};
+use crate::observer::{PhaseEvent, RunObserver};
+use emask_cpu::{CycleActivity, RunResult};
+use emask_energy::{ComponentEnergy, CycleEnergy};
+use std::fmt::Write as _;
+
+/// The component column order shared by both CSV exports.
+pub const COMPONENT_COLUMNS: [&str; 9] = [
+    "inst_bus",
+    "operand_latches",
+    "functional_units",
+    "result_bus",
+    "mem_bus",
+    "writeback_latch",
+    "regfile",
+    "memory",
+    "clock",
+];
+
+fn component_values(e: &ComponentEnergy) -> [f64; 9] {
+    [
+        e.inst_bus,
+        e.operand_latches,
+        e.functional_units,
+        e.result_bus,
+        e.mem_bus,
+        e.writeback_latch,
+        e.regfile,
+        e.memory,
+        e.clock,
+    ]
+}
+
+/// Streams per-cycle component energy into CSV (`--trace-out`'s sibling
+/// dump; header `cycle,<components…>,total,phase`).
+#[derive(Debug, Clone)]
+pub struct CycleCsv {
+    out: String,
+    phase: String,
+}
+
+impl Default for CycleCsv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CycleCsv {
+    /// An empty document with the header row written.
+    pub fn new() -> Self {
+        let mut out = String::from("cycle");
+        for c in COMPONENT_COLUMNS {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push_str(",total,phase\n");
+        CycleCsv { out, phase: "startup".to_string() }
+    }
+
+    /// The finished CSV document.
+    pub fn into_csv(self) -> String {
+        self.out
+    }
+}
+
+impl RunObserver for CycleCsv {
+    fn on_cycle(&mut self, act: &CycleActivity, energy: &CycleEnergy) {
+        let _ = write!(self.out, "{}", act.cycle);
+        for v in component_values(&energy.components) {
+            let _ = write!(self.out, ",{v}");
+        }
+        let _ = writeln!(self.out, ",{},{}", energy.total_pj(), self.phase);
+    }
+
+    fn on_phase(&mut self, event: &PhaseEvent) {
+        self.phase = event.name.clone();
+    }
+
+    fn on_finish(&mut self, _stats: &RunResult) {}
+}
+
+/// Renders per-phase × per-component energy totals as CSV.
+///
+/// One row per phase (marker order, including the synthetic `startup`
+/// region) plus a trailing `total` row; columns are
+/// `phase,start_cycle,cycles,<components…>,total_pj`. Each named phase's
+/// `total_pj` equals the sum of `EncryptionRun::phase_trace` for that
+/// phase, by the shared start-inclusive attribution convention.
+pub fn metrics_csv(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("phase,start_cycle,cycles");
+    for c in COMPONENT_COLUMNS {
+        out.push(',');
+        out.push_str(c);
+    }
+    out.push_str(",total_pj\n");
+    for p in &snap.phases {
+        let _ = write!(out, "{},{},{}", p.name, p.start_cycle, p.cycles);
+        for v in component_values(&p.energy) {
+            let _ = write!(out, ",{v}");
+        }
+        let _ = writeln!(out, ",{}", p.energy.total());
+    }
+    let _ = write!(out, "total,0,{}", snap.cycles);
+    for v in component_values(&snap.energy) {
+        let _ = write!(out, ",{v}");
+    }
+    let _ = writeln!(out, ",{}", snap.energy.total());
+    out
+}
+
+/// Renders the human-readable run report (`--summary`).
+pub fn summary(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "run summary");
+    let _ = writeln!(out, "===========");
+    let _ = writeln!(
+        out,
+        "cycles {:>12}   retired {:>12}   ipc {:.3}",
+        snap.cycles,
+        snap.retired,
+        snap.ipc()
+    );
+    let _ = writeln!(
+        out,
+        "stalls {:>12}   flushed {:>12}   secure cycles {} ({:.1}%)",
+        snap.stall_cycles,
+        snap.flushed,
+        snap.secure_cycles,
+        if snap.cycles == 0 { 0.0 } else { 100.0 * snap.secure_cycles as f64 / snap.cycles as f64 }
+    );
+    let _ = writeln!(
+        out,
+        "energy {:>12.1} pJ ({:.3} µJ), mean {:.1} pJ/cycle, peak {:.1} pJ",
+        snap.total_pj(),
+        snap.total_pj() / 1e6,
+        snap.cycle_energy.mean(),
+        snap.cycle_energy.max()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "instruction mix (normal / secure)");
+    for (i, &class) in OP_CLASSES.iter().enumerate() {
+        let m = snap.mix[i];
+        if m.total() == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>10} / {:<10} ({:.1}%)",
+            op_class_name(class),
+            m.normal,
+            m.secure,
+            if snap.retired == 0 { 0.0 } else { 100.0 * m.total() as f64 / snap.retired as f64 }
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "phase energy");
+    for p in &snap.phases {
+        let _ = writeln!(
+            out,
+            "  {:<22} @{:<9} {:>8} cycles {:>14.1} pJ ({:>5.1} pJ data-dep/cycle)",
+            p.name,
+            p.start_cycle,
+            p.cycles,
+            p.energy.total(),
+            if p.cycles == 0 { 0.0 } else { p.energy.data_dependent() / p.cycles as f64 }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn tiny_snapshot() -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        let energy = CycleEnergy {
+            cycle: 0,
+            components: ComponentEnergy { clock: 2.0, regfile: 1.0, ..Default::default() },
+        };
+        reg.on_cycle(&CycleActivity::idle(0), &energy);
+        reg.on_phase(&PhaseEvent { name: "round 1".into(), cycle: 1, index: 0 });
+        reg.on_cycle(&CycleActivity::idle(1), &energy);
+        reg.on_finish(&RunResult::default());
+        reg.snapshot()
+    }
+
+    #[test]
+    fn metrics_csv_has_phase_and_total_rows() {
+        let csv = metrics_csv(&tiny_snapshot());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4); // header + startup + round 1 + total
+        assert!(lines[0].starts_with("phase,start_cycle,cycles,inst_bus"));
+        assert!(lines[1].starts_with("startup,0,1,"));
+        assert!(lines[2].starts_with("round 1,1,1,"));
+        assert!(lines[3].starts_with("total,0,2,"));
+        // Phase totals sum to the grand total.
+        let total = |line: &str| line.rsplit(',').next().unwrap().parse::<f64>().unwrap();
+        assert!((total(lines[1]) + total(lines[2]) - total(lines[3])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_csv_tags_rows_with_the_current_phase() {
+        let mut csv = CycleCsv::new();
+        let energy = CycleEnergy { cycle: 0, components: ComponentEnergy::default() };
+        csv.on_cycle(&CycleActivity::idle(0), &energy);
+        csv.on_phase(&PhaseEvent { name: "key permutation".into(), cycle: 1, index: 0 });
+        let energy1 = CycleEnergy { cycle: 1, components: ComponentEnergy::default() };
+        csv.on_cycle(&CycleActivity::idle(1), &energy1);
+        let doc = csv.into_csv();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].ends_with(",startup"));
+        assert!(lines[2].ends_with(",key permutation"));
+        // Header column count matches data column count.
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    #[test]
+    fn summary_mentions_the_headline_numbers() {
+        let s = summary(&tiny_snapshot());
+        assert!(s.contains("run summary"));
+        assert!(s.contains("cycles"));
+        assert!(s.contains("round 1"));
+        assert!(s.contains("pJ"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # emask-telemetry — observers, metrics, and structured trace export
+//!
+//! The observability layer for the simulated smart card: pluggable run
+//! observers, a metrics registry, and exporters for external tooling.
+//!
+//! * [`RunObserver`] — the run-level contract: per-cycle activity +
+//!   energy, phase-marker crossings, and final statistics. The unit type
+//!   `()` is the free no-op observer; `(A, B)` composes two observers.
+//!   (`emask-cpu` additionally offers the lower-level
+//!   [`PipelineObserver`](emask_cpu::PipelineObserver) with per-bus
+//!   callbacks, for tools that need microarchitectural detail without the
+//!   energy model.)
+//! * [`MetricsRegistry`] — counters (instruction mix by class, secure vs
+//!   normal retirement, stalls, flushes), a per-cycle energy histogram,
+//!   and per-phase × per-component energy attribution; snapshot into the
+//!   typed [`MetricsSnapshot`].
+//! * [`ChromeTrace`] — Chrome trace-event JSON (one lane per pipeline
+//!   stage, phase markers as instant events) for `chrome://tracing` /
+//!   Perfetto.
+//! * [`CycleCsv`], [`metrics_csv`], [`summary`] — per-cycle energy CSV,
+//!   per-phase metrics CSV, and the human-readable run report.
+//!
+//! ## Example
+//!
+//! ```
+//! use emask_telemetry::{MetricsRegistry, RunObserver, PhaseEvent};
+//! use emask_cpu::CycleActivity;
+//! use emask_energy::{ComponentEnergy, CycleEnergy};
+//!
+//! let mut metrics = MetricsRegistry::new();
+//! let energy = CycleEnergy { cycle: 0, components: ComponentEnergy::default() };
+//! metrics.on_phase(&PhaseEvent { name: "round 1".into(), cycle: 0, index: 0 });
+//! metrics.on_cycle(&CycleActivity::idle(0), &energy);
+//! assert_eq!(metrics.snapshot().phase("round 1").unwrap().cycles, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod export;
+pub mod metrics;
+pub mod observer;
+
+pub use chrome::{escape_json, ChromeTrace};
+pub use export::{metrics_csv, summary, CycleCsv, COMPONENT_COLUMNS};
+pub use metrics::{
+    op_class_name, Histogram, MetricsRegistry, MetricsSnapshot, MixEntry, PhaseMetrics, OP_CLASSES,
+};
+pub use observer::{PhaseEvent, RunObserver};

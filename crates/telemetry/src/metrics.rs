@@ -1,0 +1,397 @@
+//! The metrics registry: counters, histograms, and phase-attributed
+//! energy accounting over one simulated run.
+
+use crate::observer::{PhaseEvent, RunObserver};
+use emask_cpu::{CycleActivity, RunResult};
+use emask_energy::{ComponentEnergy, CycleEnergy};
+use emask_isa::OpClass;
+
+/// All instruction classes, in a fixed reporting order.
+pub const OP_CLASSES: [OpClass; 8] = [
+    OpClass::AluReg,
+    OpClass::AluImm,
+    OpClass::ShiftImm,
+    OpClass::Load,
+    OpClass::Store,
+    OpClass::Branch,
+    OpClass::Jump,
+    OpClass::Halt,
+];
+
+/// A short stable name for an instruction class (used in reports).
+pub fn op_class_name(class: OpClass) -> &'static str {
+    match class {
+        OpClass::AluReg => "alu_reg",
+        OpClass::AluImm => "alu_imm",
+        OpClass::ShiftImm => "shift_imm",
+        OpClass::Load => "load",
+        OpClass::Store => "store",
+        OpClass::Branch => "branch",
+        OpClass::Jump => "jump",
+        OpClass::Halt => "halt",
+    }
+}
+
+fn op_class_index(class: OpClass) -> usize {
+    OP_CLASSES.iter().position(|&c| c == class).expect("class in table")
+}
+
+/// A fixed-width linear histogram with an overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram of `buckets` bins, each `width` wide, starting at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not positive or `buckets` is 0.
+    pub fn new(width: f64, buckets: usize) -> Self {
+        assert!(width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample (negative samples land in bucket 0).
+    pub fn record(&mut self, value: f64) {
+        let idx = (value / self.width).floor().max(0.0) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.n += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Per-bucket counts (overflow excluded).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The bucket width.
+    pub fn bucket_width(&self) -> f64 {
+        self.width
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Energy and cycle counts attributed to one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseMetrics {
+    /// The phase name from the marker event (e.g. `"round 3"`), or
+    /// [`MetricsRegistry::STARTUP_PHASE`] for cycles before the first
+    /// marker.
+    pub name: String,
+    /// First cycle owned by the phase.
+    pub start_cycle: u64,
+    /// Number of cycles attributed.
+    pub cycles: u64,
+    /// Per-component energy attributed (picojoules).
+    pub energy: ComponentEnergy,
+}
+
+/// Retired-instruction counts for one class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MixEntry {
+    /// Retired instructions of this class without the secure bit.
+    pub normal: u64,
+    /// Retired instructions of this class carrying the secure bit.
+    pub secure: u64,
+}
+
+impl MixEntry {
+    /// Total retired instructions of this class.
+    pub fn total(&self) -> u64 {
+        self.normal + self.secure
+    }
+}
+
+/// A point-in-time copy of everything the registry counted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Cycles observed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Retired instructions with the secure bit.
+    pub retired_secure: u64,
+    /// Load-use interlock stall cycles.
+    pub stall_cycles: u64,
+    /// Wrong-path instructions squashed.
+    pub flushed: u64,
+    /// Cycles in which at least one stage carried a secure value.
+    pub secure_cycles: u64,
+    /// Retired-instruction mix, indexed like [`OP_CLASSES`].
+    pub mix: [MixEntry; 8],
+    /// Total per-component energy (picojoules).
+    pub energy: ComponentEnergy,
+    /// Per-phase attribution, in marker order (first entry is the
+    /// pre-marker startup region when any cycles precede the first marker).
+    pub phases: Vec<PhaseMetrics>,
+    /// Distribution of per-cycle total energy (picojoules).
+    pub cycle_energy: Histogram,
+    /// The pipeline's own aggregate result, once the run finished.
+    pub run: Option<RunResult>,
+}
+
+impl MetricsSnapshot {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// The metrics of a named phase, if it was crossed.
+    pub fn phase(&self, name: &str) -> Option<&PhaseMetrics> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}
+
+/// Accumulates counters, the instruction mix, a per-cycle energy
+/// histogram, and phase-attributed component energy from a run.
+///
+/// Implements [`RunObserver`], so it plugs directly into
+/// `MaskedDes::encrypt_observed` (or any driver generic over the trait);
+/// [`MetricsRegistry::snapshot`] then yields a typed [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRegistry {
+    cycles: u64,
+    retired: u64,
+    retired_secure: u64,
+    stall_cycles: u64,
+    flushed: u64,
+    secure_cycles: u64,
+    mix: [MixEntry; 8],
+    energy: ComponentEnergy,
+    phases: Vec<PhaseMetrics>,
+    cycle_energy: Histogram,
+    run: Option<RunResult>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// The synthetic phase name for cycles before the first marker.
+    pub const STARTUP_PHASE: &'static str = "startup";
+
+    /// An empty registry. The default histogram spans 0–500 pJ in 25 pJ
+    /// bins, bracketing the calibrated model's per-cycle range.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            cycles: 0,
+            retired: 0,
+            retired_secure: 0,
+            stall_cycles: 0,
+            flushed: 0,
+            secure_cycles: 0,
+            mix: [MixEntry::default(); 8],
+            energy: ComponentEnergy::default(),
+            phases: Vec::new(),
+            cycle_energy: Histogram::new(25.0, 20),
+            run: None,
+        }
+    }
+
+    /// Copies out everything counted so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cycles: self.cycles,
+            retired: self.retired,
+            retired_secure: self.retired_secure,
+            stall_cycles: self.stall_cycles,
+            flushed: self.flushed,
+            secure_cycles: self.secure_cycles,
+            mix: self.mix,
+            energy: self.energy,
+            phases: self.phases.clone(),
+            cycle_energy: self.cycle_energy.clone(),
+            run: self.run,
+        }
+    }
+
+    fn current_phase(&mut self, cycle: u64) -> &mut PhaseMetrics {
+        if self.phases.is_empty() {
+            self.phases.push(PhaseMetrics {
+                name: Self::STARTUP_PHASE.to_string(),
+                start_cycle: cycle,
+                cycles: 0,
+                energy: ComponentEnergy::default(),
+            });
+        }
+        self.phases.last_mut().expect("non-empty")
+    }
+}
+
+impl RunObserver for MetricsRegistry {
+    fn on_cycle(&mut self, act: &CycleActivity, energy: &CycleEnergy) {
+        self.cycles += 1;
+        if act.stalled {
+            self.stall_cycles += 1;
+        }
+        self.flushed += u64::from(act.flushed);
+        if act.any_secure() {
+            self.secure_cycles += 1;
+        }
+        if let Some(inst) = &act.retired {
+            self.retired += 1;
+            let entry = &mut self.mix[op_class_index(inst.op.class())];
+            if inst.secure {
+                self.retired_secure += 1;
+                entry.secure += 1;
+            } else {
+                entry.normal += 1;
+            }
+        }
+        self.energy += energy.components;
+        self.cycle_energy.record(energy.total_pj());
+        let phase = self.current_phase(act.cycle);
+        phase.cycles += 1;
+        phase.energy += energy.components;
+    }
+
+    fn on_phase(&mut self, event: &PhaseEvent) {
+        // Fires before on_cycle for the marker cycle, so that cycle's
+        // energy lands in the new bucket (start-inclusive windows).
+        self.phases.push(PhaseMetrics {
+            name: event.name.clone(),
+            start_cycle: event.cycle,
+            cycles: 0,
+            energy: ComponentEnergy::default(),
+        });
+    }
+
+    fn on_finish(&mut self, stats: &RunResult) {
+        self.run = Some(*stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(10.0, 3);
+        for v in [0.0, 5.0, 15.0, 25.0, 35.0, -1.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[3, 1, 1]); // -1 clamps into bucket 0
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - 79.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.min(), -1.0);
+        assert_eq!(h.max(), 35.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Histogram::new(1.0, 1);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn phase_attribution_is_start_inclusive() {
+        let mut reg = MetricsRegistry::new();
+        let one_pj = |cycle| CycleEnergy {
+            cycle,
+            components: ComponentEnergy { clock: 1.0, ..Default::default() },
+        };
+        // Cycles 0–1 before any marker, marker at cycle 2, cycles 2–3 after.
+        for c in 0..2 {
+            reg.on_cycle(&CycleActivity::idle(c), &one_pj(c));
+        }
+        reg.on_phase(&PhaseEvent { name: "round 1".into(), cycle: 2, index: 0 });
+        for c in 2..4 {
+            reg.on_cycle(&CycleActivity::idle(c), &one_pj(c));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.cycles, 4);
+        assert_eq!(snap.phases.len(), 2);
+        assert_eq!(snap.phases[0].name, MetricsRegistry::STARTUP_PHASE);
+        assert_eq!(snap.phases[0].cycles, 2);
+        let round = snap.phase("round 1").expect("phase recorded");
+        assert_eq!(round.start_cycle, 2);
+        assert_eq!(round.cycles, 2);
+        assert!((round.energy.total() - 2.0).abs() < 1e-12);
+        assert!((snap.total_pj() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn op_class_table_is_total_and_unique() {
+        let names: std::collections::BTreeSet<_> =
+            OP_CLASSES.iter().map(|&c| op_class_name(c)).collect();
+        assert_eq!(names.len(), OP_CLASSES.len());
+        for &c in &OP_CLASSES {
+            assert_eq!(OP_CLASSES[op_class_index(c)], c);
+        }
+    }
+}

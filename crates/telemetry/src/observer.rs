@@ -1,0 +1,126 @@
+//! The run-level observer contract.
+//!
+//! A [`RunObserver`] sees one simulated run at the granularity the
+//! telemetry layer cares about: every cycle (microarchitectural activity
+//! *plus* its energy bill), every phase-marker crossing, and the final
+//! pipeline statistics. The unit type `()` is the no-op observer —
+//! drivers generic over `RunObserver` monomorphize it away entirely, so
+//! an unobserved run costs nothing.
+
+use emask_cpu::{CycleActivity, RunResult};
+use emask_energy::CycleEnergy;
+
+/// A phase-marker crossing, as seen by the run driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseEvent {
+    /// Human-readable phase name (e.g. `"round 3"`), stable across runs.
+    pub name: String,
+    /// The cycle of the marker store; the named phase owns this cycle and
+    /// every following cycle up to (excluding) the next marker.
+    pub cycle: u64,
+    /// Zero-based marker ordinal within the run.
+    pub index: usize,
+}
+
+/// Observes one simulated run.
+///
+/// For every cycle, [`on_phase`] (if a marker was crossed) fires *before*
+/// [`on_cycle`], so phase-attributed accumulators that switch buckets in
+/// `on_phase` charge the marker cycle to the *new* phase — the same
+/// start-inclusive convention as `EncryptionRun::phase_window`.
+/// [`on_finish`] fires once, after the final cycle.
+///
+/// [`on_phase`]: RunObserver::on_phase
+/// [`on_cycle`]: RunObserver::on_cycle
+/// [`on_finish`]: RunObserver::on_finish
+pub trait RunObserver {
+    /// One simulated cycle: the activity record and its energy breakdown.
+    fn on_cycle(&mut self, act: &CycleActivity, energy: &CycleEnergy) {
+        let _ = (act, energy);
+    }
+
+    /// A phase marker was crossed this cycle (fires before `on_cycle`).
+    fn on_phase(&mut self, event: &PhaseEvent) {
+        let _ = event;
+    }
+
+    /// The run completed; `stats` is the pipeline's aggregate result.
+    fn on_finish(&mut self, stats: &RunResult) {
+        let _ = stats;
+    }
+}
+
+/// The no-op observer: a run driven with `&mut ()` compiles to the same
+/// code as an unobserved run.
+impl RunObserver for () {}
+
+impl<O: RunObserver + ?Sized> RunObserver for &mut O {
+    fn on_cycle(&mut self, act: &CycleActivity, energy: &CycleEnergy) {
+        (**self).on_cycle(act, energy);
+    }
+    fn on_phase(&mut self, event: &PhaseEvent) {
+        (**self).on_phase(event);
+    }
+    fn on_finish(&mut self, stats: &RunResult) {
+        (**self).on_finish(stats);
+    }
+}
+
+impl<A: RunObserver, B: RunObserver> RunObserver for (A, B) {
+    fn on_cycle(&mut self, act: &CycleActivity, energy: &CycleEnergy) {
+        self.0.on_cycle(act, energy);
+        self.1.on_cycle(act, energy);
+    }
+    fn on_phase(&mut self, event: &PhaseEvent) {
+        self.0.on_phase(event);
+        self.1.on_phase(event);
+    }
+    fn on_finish(&mut self, stats: &RunResult) {
+        self.0.on_finish(stats);
+        self.1.on_finish(stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emask_energy::ComponentEnergy;
+
+    struct Count(u32, u32, u32);
+
+    impl RunObserver for Count {
+        fn on_cycle(&mut self, _a: &CycleActivity, _e: &CycleEnergy) {
+            self.0 += 1;
+        }
+        fn on_phase(&mut self, _e: &PhaseEvent) {
+            self.1 += 1;
+        }
+        fn on_finish(&mut self, _s: &RunResult) {
+            self.2 += 1;
+        }
+    }
+
+    fn drive<O: RunObserver>(obs: &mut O) {
+        let act = CycleActivity::idle(0);
+        let energy = CycleEnergy { cycle: 0, components: ComponentEnergy::default() };
+        obs.on_phase(&PhaseEvent { name: "p".into(), cycle: 0, index: 0 });
+        obs.on_cycle(&act, &energy);
+        obs.on_finish(&RunResult::default());
+    }
+
+    #[test]
+    fn unit_is_a_valid_observer() {
+        drive(&mut ());
+    }
+
+    #[test]
+    fn pairs_and_borrows_forward() {
+        let mut pair = (Count(0, 0, 0), Count(0, 0, 0));
+        drive(&mut pair);
+        assert_eq!((pair.0 .0, pair.0 .1, pair.0 .2), (1, 1, 1));
+        assert_eq!((pair.1 .0, pair.1 .1, pair.1 .2), (1, 1, 1));
+        let mut single = Count(0, 0, 0);
+        drive(&mut &mut single);
+        assert_eq!(single.0, 1);
+    }
+}

@@ -16,8 +16,7 @@ use emask::core::desgen::DesProgramSpec;
 use emask::{KeySchedule, MaskPolicy, MaskedDes, Phase};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let samples: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(128);
+    let samples: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(128);
     let key = 0x1334_5779_9BBC_DFF1;
     let true_subkey = KeySchedule::new(key).round_key(1).sbox_slice(0);
     println!("secret key {key:016X}; the round-1 subkey of S-box 1 is {true_subkey:#04X}");
@@ -38,15 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("device: {policy}");
         println!("  {result}");
         // Show the top guesses as a mini leaderboard.
-        let mut ranked: Vec<(u8, f64)> =
-            (0..64u8).map(|g| (g, result.peaks[g as usize])).collect();
+        let mut ranked: Vec<(u8, f64)> = (0..64u8).map(|g| (g, result.peaks[g as usize])).collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         println!("  top guesses:");
         for (g, p) in ranked.iter().take(4) {
             let mark = if *g == true_subkey { "  <-- true subkey" } else { "" };
             println!("    {g:#04X}: peak {p:.3} pJ{mark}");
         }
-        let recovered = result.best_guess == true_subkey && result.peaks[result.best_guess as usize] > 0.5;
+        let recovered =
+            result.best_guess == true_subkey && result.peaks[result.best_guess as usize] > 0.5;
         println!(
             "  verdict: {}\n",
             if recovered { "KEY MATERIAL RECOVERED" } else { "attack found nothing" }

@@ -45,13 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "fig9_masked_diff.csv",
             m1.trace.window(round1.clone()).diff(&m2.trace.window(round1.clone())).to_csv(),
         ),
-        (
-            "fig12_overhead.csv",
-            {
-                let kp = m1.phase_window(Phase::KeyPermutation).expect("kp");
-                m1.trace.window(kp.clone()).diff(&o1.trace.window(kp)).to_csv()
-            },
-        ),
+        ("fig12_overhead.csv", {
+            let kp = m1.phase_window(Phase::KeyPermutation).expect("kp");
+            m1.trace.window(kp.clone()).diff(&o1.trace.window(kp)).to_csv()
+        }),
     ];
     for (name, csv) in files {
         let path = out_dir.join(name);

@@ -15,6 +15,8 @@
 //! * [`energy`] — SimplePower-style energy models ([`emask_energy`]);
 //! * [`cc`] — the Tiny-C compiler with forward slicing ([`emask_cc`]);
 //! * [`attack`] — SPA and DPA ([`emask_attack`]);
+//! * [`telemetry`] — run observers, metrics, and trace export
+//!   ([`emask_telemetry`]);
 //! * [`core`] — the assembled end-to-end system ([`emask_core`]).
 //!
 //! ## Quickstart
@@ -50,9 +52,10 @@ pub use emask_cpu as cpu;
 pub use emask_des as des;
 pub use emask_energy as energy;
 pub use emask_isa as isa;
+pub use emask_telemetry as telemetry;
 
 pub use emask_core::{
-    EncryptionRun, EnergyParams, EnergyTrace, MaskPolicy, MaskedDes, MaskedXtea, Phase,
-    SecureStyle,
+    ChromeTrace, CycleCsv, EncryptionRun, EnergyParams, EnergyTrace, MaskPolicy, MaskedDes,
+    MaskedXtea, MetricsRegistry, MetricsSnapshot, Phase, RunObserver, SecureStyle,
 };
 pub use emask_des::{Des, KeySchedule, TripleDes};

@@ -24,18 +24,10 @@ fn spa_counts_sixteen_rounds_on_the_unmasked_device() {
 
 fn dpa_against(policy: MaskPolicy, samples: usize) -> (u8, emask::attack::DpaResult) {
     let des = MaskedDes::compile_spec(policy, &DesProgramSpec { rounds: 2 }).expect("compile");
-    let window = des
-        .encrypt(PLAINTEXT, KEY)
-        .expect("probe")
-        .phase_window(Phase::Round(1))
-        .expect("round 1");
+    let window =
+        des.encrypt(PLAINTEXT, KEY).expect("probe").phase_window(Phase::Round(1)).expect("round 1");
     let oracle = |plaintext: u64| -> Vec<f64> {
-        des.encrypt(plaintext, KEY)
-            .expect("oracle")
-            .trace
-            .window(window.clone())
-            .samples()
-            .to_vec()
+        des.encrypt(plaintext, KEY).expect("oracle").trace.window(window.clone()).samples().to_vec()
     };
     let cfg = DpaConfig { samples, sbox: 0, bit: 0, seed: 3 };
     let true_subkey = KeySchedule::new(KEY).round_key(1).sbox_slice(0);
@@ -52,10 +44,7 @@ fn dpa_recovers_the_round1_subkey_before_masking() {
 #[test]
 fn dpa_finds_nothing_after_masking() {
     let (_, result) = dpa_against(MaskPolicy::Selective, 96);
-    assert!(
-        result.peaks.iter().all(|&p| p < 1e-6),
-        "masked device produced DPA peaks: {result}"
-    );
+    assert!(result.peaks.iter().all(|&p| p < 1e-6), "masked device produced DPA peaks: {result}");
 }
 
 #[test]

@@ -126,11 +126,10 @@ fn paper_style_and_optimizing_codegen_agree() {
     "#;
     let a = run(src, CompileOptions::with_policy(MaskPolicy::None));
     let b = run(src, CompileOptions::paper_style(MaskPolicy::None));
-    let c = run(src, CompileOptions {
-        policy: MaskPolicy::None,
-        no_optimize: true,
-        locals_in_memory: false,
-    });
+    let c = run(
+        src,
+        CompileOptions { policy: MaskPolicy::None, no_optimize: true, locals_in_memory: false },
+    );
     assert_eq!(a, b, "paper-style codegen diverged");
     assert_eq!(a, c, "unoptimized codegen diverged");
 }

@@ -126,8 +126,8 @@ fn xtea_companion_workload_runs_end_to_end() {
 #[test]
 fn facade_reexports_compose() {
     // The root crate's re-exports are enough to drive everything.
-    let program = emask::isa::assemble(".text\n li $t0, 5\n sxor $t1, $t0, $t0\n halt\n")
-        .expect("asm");
+    let program =
+        emask::isa::assemble(".text\n li $t0, 5\n sxor $t1, $t0, $t0\n halt\n").expect("asm");
     let mut cpu = emask::cpu::Cpu::new(&program);
     let mut model = emask::energy::EnergyModel::new();
     let mut trace = emask::EnergyTrace::new();

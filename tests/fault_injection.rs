@@ -71,12 +71,9 @@ fn text_corruption_never_panics() {
 fn memory_exhaustion_is_a_clean_fault() {
     // A store far out of range faults with OutOfBounds, surfaced as
     // RunError::Cpu, not a panic.
-    let p = emask::isa::assemble(".text\n li $t0, 0x7FFF0000\n sw $t1, 0($t0)\n halt\n")
-        .expect("asm");
+    let p =
+        emask::isa::assemble(".text\n li $t0, 0x7FFF0000\n sw $t1, 0($t0)\n halt\n").expect("asm");
     let mut cpu = emask::cpu::Cpu::new(&p);
     let err = cpu.run(1_000).unwrap_err();
-    assert!(matches!(
-        err.kind,
-        emask::cpu::CpuErrorKind::Memory(_)
-    ));
+    assert!(matches!(err.kind, emask::cpu::CpuErrorKind::Memory(_)));
 }

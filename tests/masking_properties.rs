@@ -16,10 +16,7 @@ fn key_leak(des: &MaskedDes, k1: u64, k2: u64) -> f64 {
     let a = des.encrypt(PLAINTEXT, k1).expect("run");
     let b = des.encrypt(PLAINTEXT, k2).expect("run");
     let start = a.phase_window(Phase::KeyPermutation).expect("kp").start;
-    let end = a
-        .phase_window(Phase::Round(des.rounds() as u8))
-        .expect("last round")
-        .end;
+    let end = a.phase_window(Phase::Round(des.rounds() as u8)).expect("last round").end;
     a.trace.window(start..end).diff(&b.trace.window(start..end)).max_abs()
 }
 
@@ -54,8 +51,8 @@ fn unmasked_runs_leak_every_single_key_bit() {
     // Every effective (non-parity) key bit must be visible to a
     // differential measurement on the unmasked device — this is what
     // makes DPA possible at all.
-    let des = MaskedDes::compile_spec(MaskPolicy::None, &DesProgramSpec { rounds: 1 })
-        .expect("compile");
+    let des =
+        MaskedDes::compile_spec(MaskPolicy::None, &DesProgramSpec { rounds: 1 }).expect("compile");
     let base = 0x1334_5779_9BBC_DFF1u64;
     for pos in [1u32, 2, 9, 30, 47, 63] {
         // pos is the 1-based MSB-first key bit index; skip parity bits.
@@ -71,8 +68,8 @@ fn parity_bits_do_not_leak_even_unmasked() {
     // Parity bits never enter the computation (PC-1 drops them), so even
     // the unmasked device shows nothing — but only after the key loads
     // themselves, which do touch all 64 stored bits. Measure from round 1.
-    let des = MaskedDes::compile_spec(MaskPolicy::None, &DesProgramSpec { rounds: 1 })
-        .expect("compile");
+    let des =
+        MaskedDes::compile_spec(MaskPolicy::None, &DesProgramSpec { rounds: 1 }).expect("compile");
     let base = 0x1334_5779_9BBC_DFF1u64;
     let flipped = base ^ (1u64 << (64 - 8)); // key bit 8 = first parity bit
     let a = des.encrypt(PLAINTEXT, base).expect("run");
@@ -85,11 +82,8 @@ fn parity_bits_do_not_leak_even_unmasked() {
 #[test]
 fn all_policies_but_none_protect_the_rounds() {
     let base = 0x1334_5779_9BBC_DFF1u64;
-    for policy in
-        [MaskPolicy::Selective, MaskPolicy::AllLoadsStores, MaskPolicy::AllInstructions]
-    {
-        let des = MaskedDes::compile_spec(policy, &DesProgramSpec { rounds: 2 })
-            .expect("compile");
+    for policy in [MaskPolicy::Selective, MaskPolicy::AllLoadsStores, MaskPolicy::AllInstructions] {
+        let des = MaskedDes::compile_spec(policy, &DesProgramSpec { rounds: 2 }).expect("compile");
         let a = des.encrypt(PLAINTEXT, base).expect("run");
         let b = des.encrypt(PLAINTEXT, base ^ (1 << 62)).expect("run");
         let w = a.phase_window(Phase::Round(1)).expect("round 1");

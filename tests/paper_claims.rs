@@ -3,8 +3,8 @@
 //! EXPERIMENTS.md records the exact measured values.
 
 use emask::core::desgen::DesProgramSpec;
-use emask::{EnergyParams, MaskPolicy, MaskedDes, Phase};
 use emask::energy::{FunctionalUnit, UnitState};
+use emask::{EnergyParams, MaskPolicy, MaskedDes, Phase};
 
 const KEY: u64 = 0x1334_5779_9BBC_DFF1;
 const PLAINTEXT: u64 = 0x0123_4567_89AB_CDEF;
@@ -115,8 +115,8 @@ fn xor_unit_hits_the_paper_numbers_exactly() {
 fn single_key_bit_differences_are_visible_unmasked() {
     // Paper Figure 7: "it is possible to identify differences in even a
     // single bit of the secret key" — one-bit key flip, first round.
-    let des = MaskedDes::compile_spec(MaskPolicy::None, &DesProgramSpec { rounds: 1 })
-        .expect("compile");
+    let des =
+        MaskedDes::compile_spec(MaskPolicy::None, &DesProgramSpec { rounds: 1 }).expect("compile");
     let a = des.encrypt(PLAINTEXT, KEY).expect("run");
     let b = des.encrypt(PLAINTEXT, KEY ^ (1u64 << 63)).expect("run");
     let diff = a.trace.diff(&b.trace);

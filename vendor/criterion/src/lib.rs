@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the API surface its benches use: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`/`throughput`/`bench_with_input`, [`BenchmarkId`], and
+//! [`Throughput`]. Measurement is a simple calibrated wall-clock loop:
+//! each benchmark is warmed up, then timed over enough iterations to fill
+//! a short measurement window, and the mean ns/iter (plus derived
+//! throughput) is printed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Element/byte counts for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many abstract elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/parameter` style).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// An id that is just a parameter (within a named group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing driver passed to bench closures.
+pub struct Bencher<'a> {
+    measurement: &'a mut Measurement,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, keeping its result alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (compile laziness, caches).
+        black_box(routine());
+        // Calibrate: run until the window fills or the iteration cap hits.
+        let window = Duration::from_millis(120);
+        let cap = 1_000u64;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < window && iters < cap {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.measurement.iters = iters.max(1);
+        self.measurement.total = elapsed;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Measurement {
+    iters: u64,
+    total: Duration,
+}
+
+impl Measurement {
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let ns_per_iter =
+            if self.iters == 0 { 0.0 } else { self.total.as_nanos() as f64 / self.iters as f64 };
+        let mut line =
+            format!("bench {name:<44} {ns_per_iter:>14.1} ns/iter ({} iters)", self.iters);
+        if let Some(tp) = throughput {
+            let per_sec = match tp {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64 / (ns_per_iter / 1e9),
+            };
+            let unit = match tp {
+                Throughput::Elements(_) => "elem/s",
+                Throughput::Bytes(_) => "B/s",
+            };
+            line.push_str(&format!(" — {per_sec:.3e} {unit}"));
+        }
+        println!("{line}");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    // Kept for API compatibility; the stub's window is fixed.
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub auto-calibrates instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used for derived rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut m = Measurement::default();
+        f(&mut Bencher { measurement: &mut m });
+        m.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut m = Measurement::default();
+        f(&mut Bencher { measurement: &mut m }, input);
+        m.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut m = Measurement::default();
+        f(&mut Bencher { measurement: &mut m });
+        m.report(name, None);
+        self
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` over one or more group-runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut m = Measurement::default();
+        let mut b = Bencher { measurement: &mut m };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(m.iters >= 1);
+        assert!(m.total.as_nanos() > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter("fast").to_string(), "fast");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

@@ -1,0 +1,55 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.end - self.len.start;
+        let n = if span == 0 { self.len.start } else { self.len.start + rng.below(span) };
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A strategy for vectors whose length is drawn from `len` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn lengths_span_the_range() {
+        let s = vec(any::<u8>(), 0..4);
+        let mut rng = TestRng::new(8);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!(v.len() < 4);
+            seen.insert(v.len());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn nested_strategies_work() {
+        let s = vec(0u32..5, 2..3);
+        let mut rng = TestRng::new(8);
+        let v = s.sample(&mut rng);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|&x| x < 5));
+    }
+}

@@ -1,0 +1,170 @@
+//! Value-generation strategies: ranges, tuples, `Just`, `prop_map`, and
+//! the union behind `prop_oneof!`.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for drawing values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A boxed sampling function — one arm of a [`Union`].
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// A uniform choice among boxed same-valued strategies — the engine of
+/// `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        (self.arms[i])(rng)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_cover_and_bound() {
+        let mut rng = TestRng::new(11);
+        let s = -3i32..3;
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            let v = s.sample(&mut rng);
+            assert!((-3..3).contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 6, "all 6 values should appear: {seen:?}");
+    }
+
+    #[test]
+    fn f64_range_bounds() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let v = (1.5f64..2.5).sample(&mut rng);
+            assert!((1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn just_clones() {
+        let mut rng = TestRng::new(0);
+        assert_eq!(Just(41u8).sample(&mut rng), 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        (5u8..5).sample(&mut TestRng::new(0));
+    }
+}

@@ -1,0 +1,95 @@
+//! The deterministic case runner behind [`proptest!`](crate::proptest).
+
+/// Per-test configuration (case count only — there is no shrinking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the heavier simulator
+        // properties fast while still covering the input space well.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a hash of a string — seeds each test deterministically from its
+/// module path and name.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The deterministic generator (SplitMix64) strategies draw from.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_names() {
+        assert_ne!(fnv1a("a::b"), fnv1a("a::c"));
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..100 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        TestRng::new(1).below(0);
+    }
+}
