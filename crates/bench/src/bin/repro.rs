@@ -9,6 +9,7 @@
 //! Every figure prints its data series (CSV-ish) plus an ASCII rendering;
 //! EXPERIMENTS.md records the paper-vs-measured comparison.
 
+use emask_bench::campaign::{run_campaign, CampaignConfig, FaultOutcome};
 use emask_bench::experiments::{self, KEY, PLAINTEXT};
 use emask_core::{
     ChromeTrace, DesProgramSpec, EncryptionRun, EnergyTrace, MaskPolicy, MaskedDes, MetricsRegistry,
@@ -20,7 +21,7 @@ use std::process::ExitCode;
 
 /// Every runnable experiment, as listed in `usage()`; `all` expands to the
 /// full sequence.
-const EXPERIMENTS: [&str; 17] = [
+const EXPERIMENTS: [&str; 18] = [
     "fig6",
     "fig7",
     "fig8",
@@ -38,6 +39,7 @@ const EXPERIMENTS: [&str; 17] = [
     "coupling",
     "perclass",
     "ablations",
+    "fault",
 ];
 
 struct Opts {
@@ -47,6 +49,9 @@ struct Opts {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     summary: bool,
+    fault_trials: usize,
+    fault_bits: Vec<u8>,
+    fault_out: Option<String>,
 }
 
 fn main() -> ExitCode {
@@ -59,6 +64,9 @@ fn main() -> ExitCode {
         trace_out: None,
         metrics_out: None,
         summary: false,
+        fault_trials: 1000,
+        fault_bits: CampaignConfig::default().bits,
+        fault_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -81,6 +89,25 @@ fn main() -> ExitCode {
                 None => return usage("--metrics-out needs a file path"),
             },
             "--summary" => opts.summary = true,
+            "--fault-trials" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => opts.fault_trials = v,
+                _ => return usage("--fault-trials needs a positive value"),
+            },
+            "--fault-bits" => {
+                let parsed = it.next().map(|v| {
+                    v.split(',').map(|s| s.trim().parse::<u8>()).collect::<Result<Vec<u8>, _>>()
+                });
+                match parsed {
+                    Some(Ok(bits)) if !bits.is_empty() && bits.iter().all(|&b| b < 32) => {
+                        opts.fault_bits = bits;
+                    }
+                    _ => return usage("--fault-bits needs a comma list of bits in 0..=31"),
+                }
+            }
+            "--fault-out" => match it.next() {
+                Some(path) => opts.fault_out = Some(path.clone()),
+                None => return usage("--fault-out needs a file path"),
+            },
             flag if flag.starts_with("--") => {
                 return usage(&format!("unknown flag `{flag}`"));
             }
@@ -123,6 +150,12 @@ fn main() -> ExitCode {
             "perclass" => perclass(&opts),
             "tvla" => tvla(&opts),
             "ablations" => ablations(&opts),
+            "fault" => {
+                if let Err(e) = fault(&opts) {
+                    eprintln!("error: fault campaign failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             _ => unreachable!("validated above"),
         }
         println!();
@@ -140,14 +173,17 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: repro [--rounds N] [--samples N] [--no-plot] [--trace-out FILE] \
-         [--metrics-out FILE] [--summary] \
-         <all|{}>...",
+         [--metrics-out FILE] [--summary] [--fault-trials N] [--fault-bits B,B,...] \
+         [--fault-out FILE] <all|{}>...",
         EXPERIMENTS.join("|")
     );
     eprintln!("  --rounds/--samples may be given more than once; the last value wins");
     eprintln!("  --trace-out   write a Chrome trace-event JSON of one observed encryption");
     eprintln!("  --metrics-out write per-phase x per-component energy CSV of that run");
     eprintln!("  --summary     print the human-readable telemetry report of that run");
+    eprintln!("  --fault-trials number of faults the `fault` campaign injects (default 1000)");
+    eprintln!("  --fault-bits  comma list of bit positions the campaign cycles through");
+    eprintln!("  --fault-out   write the per-trial campaign CSV to this file");
     ExitCode::FAILURE
 }
 
@@ -369,4 +405,36 @@ fn ablations(opts: &Opts) {
     let rounds = opts.rounds.min(4);
     let report = experiments::ablations(rounds);
     println!("{report}");
+}
+
+/// The robustness experiment: a deterministic fault-injection campaign
+/// against the selectively-masked device, with the dual-rail checker
+/// armed, classifying every trial into the five outcome categories.
+fn fault(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "== Fault campaign: {} trials, bits {:?}, selective masking, {} rounds ==",
+        opts.fault_trials, opts.fault_bits, opts.rounds
+    );
+    let des =
+        MaskedDes::compile_spec(MaskPolicy::Selective, &DesProgramSpec { rounds: opts.rounds })?;
+    let cfg = CampaignConfig {
+        trials: opts.fault_trials,
+        bits: opts.fault_bits.clone(),
+        plaintext: PLAINTEXT,
+        key: KEY,
+    };
+    let report = run_campaign(&des, &cfg)?;
+    println!("clean run: {} cycles; cycle budget per trial: 2x", report.clean_cycles);
+    print!("{}", report.summary());
+    let detected = report.count(FaultOutcome::Detected);
+    println!(
+        "dual-rail checker detected {detected} of {} injected faults ({:.1}%)",
+        report.total(),
+        100.0 * detected as f64 / report.total().max(1) as f64
+    );
+    if let Some(path) = &opts.fault_out {
+        fs::write(path, report.csv())?;
+        println!("wrote per-trial campaign CSV to {path}");
+    }
+    Ok(())
 }

@@ -1,0 +1,315 @@
+//! Fault-injection campaigns: sweep faults across cycles × bit positions
+//! × locations, classify every outcome, and export the results.
+//!
+//! A campaign takes a compiled [`MaskedDes`] and runs it once cleanly
+//! (baseline cycle count, golden-model check), then once per trial with a
+//! single planned fault installed through
+//! [`MaskedDes::encrypt_hooked`] as a `(FaultInjector, DualRailChecker)`
+//! hook pair. Each trial is classified into exactly one
+//! [`FaultOutcome`]:
+//!
+//! * **no-effect** — the run completed and the ciphertext matched the
+//!   reference DES (the runner validates every accepted run against the
+//!   golden model, so `Ok` can never hide silent corruption);
+//! * **detected** — the dual-rail checker caught an ill-formed secure
+//!   sample ([`CpuErrorKind::DualRailViolation`]);
+//! * **wrong-ciphertext** — the run completed but the result disagreed
+//!   with the reference DES (or broke the bit-per-word output contract);
+//! * **crash** — the core faulted (memory fault, divide by zero, runaway
+//!   PC) or the harness could not set the image up;
+//! * **hang** — the cycle budget (2× the clean run) expired, i.e. the
+//!   fault sent the program into an endless loop.
+//!
+//! The trial lattice is deterministic — a pure function of the trial
+//! index — so campaigns are exactly reproducible and need no RNG: the
+//! strike cycle sweeps the whole run, the bit position cycles through the
+//! configured list, and the target/rail/model rotation covers every
+//! pipeline lane × rail mode, registers, data memory, fetch squash, and
+//! op-class-triggered strikes on the secure load path.
+
+use emask_core::{EncryptionRun, MaskedDes, RunError};
+use emask_cpu::{CpuErrorKind, FaultLane, RailMode};
+use emask_fault::{
+    DualRailChecker, FaultInjector, FaultModel, FaultPlan, FaultSpec, FaultTarget, FaultTrigger,
+};
+use emask_isa::OpClass;
+use emask_telemetry::{campaign_csv, campaign_summary, CampaignTrial};
+
+/// The five-way outcome classification of one fault-injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Run completed, ciphertext matched the reference DES.
+    NoEffect,
+    /// The dual-rail integrity checker reported the fault.
+    Detected,
+    /// Run completed but the result disagreed with the reference DES.
+    WrongCiphertext,
+    /// The core faulted or the image setup failed.
+    Crash,
+    /// The cycle budget expired — the fault caused an endless loop.
+    Hang,
+}
+
+impl FaultOutcome {
+    /// All outcomes, in report order.
+    pub const ALL: [FaultOutcome; 5] = [
+        FaultOutcome::NoEffect,
+        FaultOutcome::Detected,
+        FaultOutcome::WrongCiphertext,
+        FaultOutcome::Crash,
+        FaultOutcome::Hang,
+    ];
+
+    /// The stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOutcome::NoEffect => "no-effect",
+            FaultOutcome::Detected => "detected",
+            FaultOutcome::WrongCiphertext => "wrong-ciphertext",
+            FaultOutcome::Crash => "crash",
+            FaultOutcome::Hang => "hang",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultOutcome::NoEffect => 0,
+            FaultOutcome::Detected => 1,
+            FaultOutcome::WrongCiphertext => 2,
+            FaultOutcome::Crash => 3,
+            FaultOutcome::Hang => 4,
+        }
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Number of fault trials.
+    pub trials: usize,
+    /// Bit positions cycled through by the lattice.
+    pub bits: Vec<u8>,
+    /// The plaintext block of every trial.
+    pub plaintext: u64,
+    /// The key of every trial.
+    pub key: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            trials: 1000,
+            bits: vec![0, 1, 7, 15, 31],
+            plaintext: 0x0123_4567_89AB_CDEF,
+            key: 0x1334_5779_9BBC_DFF1,
+        }
+    }
+}
+
+/// A completed campaign: every trial row plus the classified totals.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// One row per trial, in trial order.
+    pub trials: Vec<CampaignTrial>,
+    /// Outcome totals, indexed as [`FaultOutcome::ALL`].
+    pub counts: [usize; 5],
+    /// Cycle count of the clean (unfaulted) baseline run.
+    pub clean_cycles: u64,
+}
+
+impl CampaignReport {
+    /// Trials classified as `outcome`.
+    pub fn count(&self, outcome: FaultOutcome) -> usize {
+        self.counts[outcome.index()]
+    }
+
+    /// Total trials run.
+    pub fn total(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// The per-trial CSV document.
+    pub fn csv(&self) -> String {
+        campaign_csv(&self.trials)
+    }
+
+    /// The human-readable classified-totals summary.
+    pub fn summary(&self) -> String {
+        campaign_summary(&self.trials)
+    }
+}
+
+/// How a lane fault's rail mode reads in reports.
+fn rail_name(rail: RailMode) -> &'static str {
+    match rail {
+        RailMode::Both => "both",
+        RailMode::TrueOnly => "true",
+        RailMode::ComplementOnly => "comp",
+    }
+}
+
+/// The deterministic trial lattice: trial index → one fault spec plus its
+/// report names. `cycle` is the scheduled strike cycle, already spread
+/// across the clean run by the caller.
+fn trial_spec(i: usize, cycle: u64, bit: u8, key_addr: Option<u32>) -> (FaultSpec, String) {
+    const RAILS: [RailMode; 3] = [RailMode::TrueOnly, RailMode::Both, RailMode::ComplementOnly];
+    // Temporal model: mostly transients, a sprinkling of defects/glitches.
+    let model = match i % 7 {
+        5 => FaultModel::StuckAt { bit, stuck_one: (i / 7) % 2 == 1 },
+        6 => FaultModel::Glitch { mask: 1u32 << (bit & 31), cycles: 3 },
+        _ => FaultModel::BitFlip { bit },
+    };
+    // A window lets one-shot transients re-arm past bubbles; a point
+    // trigger models a precisely timed strike.
+    let windowed = i.is_multiple_of(4);
+    let trigger = if windowed {
+        FaultTrigger::CycleWindow { start: cycle, end: cycle.saturating_add(200) }
+    } else {
+        FaultTrigger::AtCycle(cycle)
+    };
+    let (trigger, target, name) = match i % 10 {
+        // Pipeline-latch lanes under every rail mode.
+        k @ 0..=5 => {
+            let lane = FaultLane::ALL[i % FaultLane::ALL.len()];
+            let rail = RAILS[(i / 2 + k) % RAILS.len()];
+            let target = FaultTarget::Lane(lane, rail);
+            (trigger, target, format!("{}:{}", lane.name(), rail_name(rail)))
+        }
+        // Architectural register file ($t0..$t7).
+        6 => {
+            let n = 8 + (i / 10 % 8) as u8;
+            (trigger, FaultTarget::Register(n), format!("regfile:r{n}"))
+        }
+        // Data memory inside the key bit array (word-aligned).
+        7 => {
+            let addr = key_addr.unwrap_or(0x1000) + 4 * (i as u32 / 10 % 64);
+            (trigger, FaultTarget::Memory { addr }, "memory:key".to_string())
+        }
+        // Instruction skip.
+        8 => (trigger, FaultTarget::FetchSquash, "fetch-squash".to_string()),
+        // Retirement-indexed strike on the secure load path: the trigger
+        // follows the instruction stream, not the cycle count.
+        _ => {
+            let lane = if i % 20 == 9 { FaultLane::IdExB } else { FaultLane::IdExA };
+            let target = FaultTarget::Lane(lane, RailMode::TrueOnly);
+            let trigger =
+                FaultTrigger::OnOpClass { class: OpClass::Load, skip: (i as u64 / 10) % 64 };
+            (trigger, target, format!("{}:true@load", lane.name()))
+        }
+    };
+    (FaultSpec { trigger, target, model }, name)
+}
+
+/// Classifies one trial's result.
+fn classify(result: &Result<EncryptionRun, RunError>) -> (FaultOutcome, String) {
+    match result {
+        Ok(_) => (FaultOutcome::NoEffect, String::new()),
+        Err(RunError::Cpu(e)) => match e.kind {
+            CpuErrorKind::DualRailViolation { .. } => (FaultOutcome::Detected, e.to_string()),
+            CpuErrorKind::CycleLimit { .. } => (FaultOutcome::Hang, e.to_string()),
+            _ => (FaultOutcome::Crash, e.to_string()),
+        },
+        Err(e @ (RunError::Mismatch { .. } | RunError::GarbledOutput { .. })) => {
+            (FaultOutcome::WrongCiphertext, e.to_string())
+        }
+        Err(e) => (FaultOutcome::Crash, e.to_string()),
+    }
+}
+
+/// Runs a fault campaign against `des`.
+///
+/// The clean baseline run must succeed (its failure is the returned
+/// error); after that **no trial can panic or abort the campaign** —
+/// every possible result of a faulted run maps onto a [`FaultOutcome`].
+///
+/// # Errors
+///
+/// Returns the clean baseline run's [`RunError`], if any.
+pub fn run_campaign(des: &MaskedDes, cfg: &CampaignConfig) -> Result<CampaignReport, RunError> {
+    let clean = des.encrypt(cfg.plaintext, cfg.key)?;
+    let clean_cycles = clean.stats.cycles;
+    // A faulted run that loops forever must terminate promptly: twice the
+    // clean run is generous for any non-looping perturbation.
+    let des = des.clone().with_cycle_limit(clean_cycles.saturating_mul(2).max(10_000));
+    let key_addr = des.program().try_data_addr("key");
+
+    let bits = if cfg.bits.is_empty() { vec![0u8] } else { cfg.bits.clone() };
+    let mut trials = Vec::with_capacity(cfg.trials);
+    let mut counts = [0usize; 5];
+    for i in 0..cfg.trials {
+        // Spread strike cycles across the whole clean run.
+        let cycle = (i as u64).wrapping_mul(clean_cycles) / cfg.trials.max(1) as u64;
+        let bit = bits[i % bits.len()];
+        let (spec, target_name) = trial_spec(i, cycle, bit, key_addr);
+        let mut hook = (FaultInjector::new(FaultPlan::single(spec)), DualRailChecker::new());
+        let result = des.encrypt_hooked(cfg.plaintext, cfg.key, &mut hook);
+        let (outcome, detail) = classify(&result);
+        counts[outcome.index()] += 1;
+        trials.push(CampaignTrial {
+            index: i,
+            cycle,
+            bit,
+            target: target_name,
+            model: spec.model.name().to_string(),
+            outcome: outcome.name().to_string(),
+            detail,
+        });
+    }
+    Ok(CampaignReport { trials, counts, clean_cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emask_cc::MaskPolicy;
+    use emask_core::desgen::DesProgramSpec;
+
+    fn small_des() -> MaskedDes {
+        MaskedDes::compile_spec(MaskPolicy::Selective, &DesProgramSpec { rounds: 1 })
+            .expect("compile")
+    }
+
+    #[test]
+    fn small_campaign_classifies_every_trial() {
+        let des = small_des();
+        let cfg = CampaignConfig { trials: 80, ..CampaignConfig::default() };
+        let report = run_campaign(&des, &cfg).expect("campaign");
+        assert_eq!(report.total(), 80);
+        assert_eq!(report.counts.iter().sum::<usize>(), 80, "every trial classified");
+        // The lattice's single-rail strikes on the secure load path must
+        // be caught by the dual-rail checker, not surface as silent
+        // corruption.
+        assert!(report.count(FaultOutcome::Detected) > 0, "summary:\n{}", report.summary());
+        // And some faults must perturb the architectural result.
+        assert!(
+            report.count(FaultOutcome::WrongCiphertext)
+                + report.count(FaultOutcome::Crash)
+                + report.count(FaultOutcome::Hang)
+                > 0,
+            "summary:\n{}",
+            report.summary()
+        );
+        // Exports agree with the counts.
+        assert!(report.summary().contains("sum 80/80"));
+        assert_eq!(report.csv().lines().count(), 81);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let des = small_des();
+        let cfg = CampaignConfig { trials: 12, ..CampaignConfig::default() };
+        let a = run_campaign(&des, &cfg).expect("campaign");
+        let b = run_campaign(&des, &cfg).expect("campaign");
+        assert_eq!(a.trials, b.trials);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn outcome_names_are_the_five_categories() {
+        let names: Vec<&str> = FaultOutcome::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(names, ["no-effect", "detected", "wrong-ciphertext", "crash", "hang"]);
+        for (i, o) in FaultOutcome::ALL.iter().enumerate() {
+            assert_eq!(o.index(), i);
+        }
+    }
+}

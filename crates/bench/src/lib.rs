@@ -19,12 +19,15 @@
 //! | XOR unit | 0.3 pJ normal / 0.6 pJ secure | [`experiments::xor_unit`] |
 //! | SPA/DPA | attacks defeated by masking | [`experiments::spa_rounds`], [`experiments::dpa_attack`] |
 //! | ablations | pre-charge, gating, slicing | [`experiments::ablations`] |
+//! | `fault` | robustness: fault campaign + dual-rail detection | [`campaign::run_campaign`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, FaultOutcome};
 pub use experiments::{
     ablations, coupling_study, cpa_attack, dpa_attack, dpa_sample_sweep, energy_by_class,
     fig6_round_trace, key_differential, masking_overhead_trace, plaintext_differential,

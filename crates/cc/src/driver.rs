@@ -162,10 +162,11 @@ pub fn compile_profiled(
     options: CompileOptions,
 ) -> Result<(CompileOutput, CompileProfile), CompileError> {
     let mut profile = CompileProfile { source_bytes: source.len(), ..Default::default() };
-    let timed = |name: &'static str,
-                 profile: &mut CompileProfile,
-                 f: &mut dyn FnMut() -> Result<(), CompileError>|
-     -> Result<(), CompileError> {
+    fn timed<T>(
+        name: &'static str,
+        profile: &mut CompileProfile,
+        f: impl FnOnce() -> Result<T, CompileError>,
+    ) -> Result<T, CompileError> {
         let start = Instant::now();
         let r = f();
         profile.passes.push(PassTiming {
@@ -175,32 +176,14 @@ pub fn compile_profiled(
             ir_after: None,
         });
         r
-    };
-
-    let mut unit = None;
-    timed("parse", &mut profile, &mut || {
-        unit = Some(parse(source)?);
-        Ok(())
-    })?;
-    let mut unit = unit.expect("parsed");
-    timed("check", &mut profile, &mut || {
-        check(&unit)?;
-        Ok(())
-    })?;
-    if options.locals_in_memory {
-        let mut hoisted = None;
-        timed("hoist", &mut profile, &mut || {
-            hoisted = Some(crate::hoist::hoist_locals(&unit)?);
-            Ok(())
-        })?;
-        unit = hoisted.expect("hoisted");
     }
-    let mut info = None;
-    timed("recheck", &mut profile, &mut || {
-        info = Some(check(&unit)?);
-        Ok(())
-    })?;
-    let info = info.expect("checked");
+
+    let mut unit = timed("parse", &mut profile, || Ok(parse(source)?))?;
+    timed("check", &mut profile, || Ok(check(&unit).map(|_| ())?))?;
+    if options.locals_in_memory {
+        unit = timed("hoist", &mut profile, || Ok(crate::hoist::hoist_locals(&unit)?))?;
+    }
+    let info = timed("recheck", &mut profile, || Ok(check(&unit)?))?;
 
     let ir_size = |funcs: &[FuncIr]| funcs.iter().map(|f| f.body.len()).sum::<usize>();
     let start = Instant::now();

@@ -5,7 +5,8 @@ use crate::desgen::{
     MARKER_ROUND,
 };
 use emask_cc::{compile, CompileError, CompileOptions, MaskPolicy, SliceReport};
-use emask_cpu::{Cpu, CpuError, RunResult};
+use emask_cpu::memory::AccessError;
+use emask_cpu::{Cpu, CpuError, NullHook, PipelineHook, RunResult};
 use emask_des::bitarray::BitArrayState;
 use emask_des::bits::{from_bit_vec, to_bit_vec};
 use emask_energy::{EnergyModel, EnergyParams, EnergyTrace};
@@ -99,6 +100,23 @@ pub enum RunError {
         /// Its value.
         value: u32,
     },
+    /// A data symbol the harness relies on (`key`, `data`, `marker`,
+    /// `output`) is absent from the compiled program — a malformed or
+    /// hand-edited image, surfaced as an error instead of a panic.
+    MissingSymbol {
+        /// The absent symbol.
+        name: String,
+    },
+    /// Poking an input array or reading the output array hit a memory
+    /// fault — the image layout disagrees with the data-memory size.
+    ImageAccess {
+        /// The symbol whose array was being accessed.
+        name: String,
+        /// Word index within the array.
+        index: usize,
+        /// The underlying access fault.
+        source: AccessError,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -111,6 +129,12 @@ impl fmt::Display for RunError {
             ),
             RunError::GarbledOutput { word, value } => {
                 write!(f, "output word {word} is not a bit: {value}")
+            }
+            RunError::MissingSymbol { name } => {
+                write!(f, "program has no data symbol `{name}`")
+            }
+            RunError::ImageAccess { name, index, source } => {
+                write!(f, "accessing `{name}[{index}]`: {source}")
             }
         }
     }
@@ -284,6 +308,35 @@ impl MaskedDes {
         self.run_block_observed(plaintext, key, obs)
     }
 
+    /// [`MaskedDes::encrypt`] with a [`PipelineHook`] installed on the
+    /// simulated core — the entry point for **fault-injection campaigns**:
+    /// pass a `(FaultInjector, DualRailChecker)` tuple from `emask-fault`
+    /// and every planned fault strikes the live pipeline while the checker
+    /// audits each cycle's dual-rail samples. A violation the checker
+    /// raises surfaces as [`RunError::Cpu`] with
+    /// [`emask_cpu::CpuErrorKind::DualRailViolation`]; silent corruption
+    /// is still caught downstream by the golden-model validation.
+    ///
+    /// Monomorphized per hook type: `&mut NullHook` compiles to exactly
+    /// [`MaskedDes::encrypt`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`MaskedDes::encrypt`], plus whatever fault the hook raises.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this instance is a decryptor.
+    pub fn encrypt_hooked<H: PipelineHook>(
+        &self,
+        plaintext: u64,
+        key: u64,
+        hook: &mut H,
+    ) -> Result<EncryptionRun, RunError> {
+        assert!(!self.decryptor, "this instance was compiled as a decryptor; use decrypt()");
+        self.run_block_full(plaintext, key, hook, &mut ())
+    }
+
     /// [`MaskedDes::decrypt`] with a telemetry observer attached; see
     /// [`MaskedDes::encrypt_observed`].
     ///
@@ -352,7 +405,7 @@ impl MaskedDes {
     }
 
     fn run_block(&self, input: u64, key: u64) -> Result<EncryptionRun, RunError> {
-        self.run_block_observed(input, key, &mut ())
+        self.run_block_full(input, key, &mut NullHook, &mut ())
     }
 
     fn run_block_observed<O: RunObserver>(
@@ -361,27 +414,45 @@ impl MaskedDes {
         key: u64,
         obs: &mut O,
     ) -> Result<EncryptionRun, RunError> {
+        self.run_block_full(input, key, &mut NullHook, obs)
+    }
+
+    /// The byte address of a required data symbol, as a typed error when
+    /// absent (a malformed image must not panic a CLI run).
+    fn data_sym(&self, name: &str) -> Result<u32, RunError> {
+        self.program
+            .try_data_addr(name)
+            .ok_or_else(|| RunError::MissingSymbol { name: name.to_string() })
+    }
+
+    fn run_block_full<H: PipelineHook, O: RunObserver>(
+        &self,
+        input: u64,
+        key: u64,
+        hook: &mut H,
+        obs: &mut O,
+    ) -> Result<EncryptionRun, RunError> {
         let plaintext = input;
         let mut cpu = Cpu::new(&self.program);
         // Poke inputs: one word per bit, MSB first (paper Figure 4 layout).
-        let key_addr = self.program.data_addr("key");
-        let data_addr = self.program.data_addr("data");
-        for (i, b) in to_bit_vec(key).iter().enumerate() {
-            cpu.memory_mut()
-                .store(key_addr + 4 * i as u32, u32::from(*b))
-                .expect("key array in range");
-        }
-        for (i, b) in to_bit_vec(plaintext).iter().enumerate() {
-            cpu.memory_mut()
-                .store(data_addr + 4 * i as u32, u32::from(*b))
-                .expect("data array in range");
-        }
-        let marker_addr = self.program.data_addr("marker");
+        let key_addr = self.data_sym("key")?;
+        let data_addr = self.data_sym("data")?;
+        let poke = |cpu: &mut Cpu, name: &str, base: u32, value: u64| {
+            for (i, b) in to_bit_vec(value).iter().enumerate() {
+                cpu.memory_mut().store(base + 4 * i as u32, u32::from(*b)).map_err(|source| {
+                    RunError::ImageAccess { name: name.to_string(), index: i, source }
+                })?;
+            }
+            Ok::<(), RunError>(())
+        };
+        poke(&mut cpu, "key", key_addr, key)?;
+        poke(&mut cpu, "data", data_addr, plaintext)?;
+        let marker_addr = self.data_sym("marker")?;
 
         let mut model = EnergyModel::with_params(self.params);
         let mut trace = EnergyTrace::new();
         let mut markers = Vec::new();
-        let stats = cpu.run_with(self.cycle_limit, |act| {
+        let stats = cpu.run_hooked_with(self.cycle_limit, hook, |act| {
             let energy = model.observe(act);
             // Markers first: the marker cycle belongs to the *new* phase
             // (start-inclusive windows), so phase-switching observers must
@@ -404,10 +475,12 @@ impl MaskedDes {
         obs.on_finish(&stats);
 
         // Read the ciphertext back and validate against the golden model.
-        let out_addr = self.program.data_addr("output");
+        let out_addr = self.data_sym("output")?;
         let mut bits = [0u8; 64];
         for (i, bit) in bits.iter_mut().enumerate() {
-            let w = cpu.memory().load(out_addr + 4 * i as u32).expect("output in range");
+            let w = cpu.memory().load(out_addr + 4 * i as u32).map_err(|source| {
+                RunError::ImageAccess { name: "output".to_string(), index: i, source }
+            })?;
             if w > 1 {
                 // A fault (injected or otherwise) broke the bit-per-word
                 // contract: surface it cleanly rather than panicking.

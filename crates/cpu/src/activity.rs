@@ -13,11 +13,20 @@ use emask_isa::{Instruction, Op, OpClass};
 ///
 /// When `active` is false the latch was not clocked this cycle (a bubble or
 /// a gated stage); the energy model charges no switching for it. When
-/// `secure` is true the value travelled on the dual-rail pre-charged path.
+/// `secure` is true the value travelled on the dual-rail pre-charged path,
+/// and `complement` records what the complement rail actually carried. A
+/// healthy pipeline always drives `!value` there; a single-rail upset (one
+/// wire of the pair flipped by a fault) makes the rails agree on some bit,
+/// which the dual-rail integrity checker reports as a
+/// [`CpuErrorKind::DualRailViolation`](crate::CpuErrorKind::DualRailViolation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BusSample {
-    /// The value driven/latched.
+    /// The value driven/latched (the true rail).
     pub value: u32,
+    /// What the complement rail carried; `!value` when well-formed. Only
+    /// meaningful for active secure samples — single-rail normal buses
+    /// leave it at the constructor default.
+    pub complement: u32,
     /// Whether the owning instruction carries the secure bit.
     pub secure: bool,
     /// Whether the bus/latch toggled at all this cycle.
@@ -30,9 +39,15 @@ impl BusSample {
         Self::default()
     }
 
-    /// An active sample.
+    /// An active sample with a well-formed complement rail.
     pub fn new(value: u32, secure: bool) -> Self {
-        Self { value, secure, active: true }
+        Self { value, complement: !value, secure, active: true }
+    }
+
+    /// Bits on which the two rails *agree* — zero for a well-formed
+    /// dual-rail pair. Only meaningful for active secure samples.
+    pub fn rail_agreement(&self) -> u32 {
+        !(self.value ^ self.complement)
     }
 }
 
@@ -167,5 +182,20 @@ mod tests {
         let s = BusSample::new(9, true);
         assert!(s.active && s.secure);
         assert_eq!(s.value, 9);
+        assert_eq!(s.complement, !9u32);
+        assert_eq!(s.rail_agreement(), 0);
+    }
+
+    #[test]
+    fn rail_agreement_flags_single_rail_upsets() {
+        let mut s = BusSample::new(0b1010, true);
+        assert_eq!(s.rail_agreement(), 0);
+        // A fault flips bit 3 of the true rail only: the rails now agree
+        // there (both low-ish), and nowhere else.
+        s.value ^= 1 << 3;
+        assert_eq!(s.rail_agreement(), 1 << 3);
+        // Flipping the complement rail too restores the invariant.
+        s.complement ^= 1 << 3;
+        assert_eq!(s.rail_agreement(), 0);
     }
 }

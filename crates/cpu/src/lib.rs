@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod hook;
 pub mod interp;
 pub mod memory;
 pub mod observe;
@@ -50,6 +51,7 @@ pub mod pipeline;
 pub mod regfile;
 
 pub use activity::{BusSample, CycleActivity, ExActivity, MemActivity};
+pub use hook::{FaultLane, HookCtx, LaneView, NullHook, PipelineHook, RailMode};
 pub use interp::Interpreter;
 pub use memory::DataMemory;
 pub use observe::{Bus, NullObserver, PipelineObserver};

@@ -164,4 +164,49 @@ mod tests {
         assert!(AccessError::Unaligned { addr: 2 }.to_string().contains("0x00000002"));
         assert!(AccessError::OutOfBounds { addr: 64, size: 64 }.to_string().contains("64-byte"));
     }
+
+    #[test]
+    fn edges_of_the_standard_memory_map() {
+        use emask_isa::program::{MEM_SIZE, STACK_TOP};
+        let mut m = DataMemory::new(MEM_SIZE);
+        // The last word is addressable; one past it is not.
+        m.store(MEM_SIZE - 4, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.load(MEM_SIZE - 4).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(
+            m.load(MEM_SIZE),
+            Err(AccessError::OutOfBounds { addr: MEM_SIZE, size: MEM_SIZE })
+        );
+        // The stack red zone between STACK_TOP and MEM_SIZE stays in range.
+        for a in (STACK_TOP..MEM_SIZE).step_by(4) {
+            m.store(a, a).unwrap();
+            assert_eq!(m.load(a).unwrap(), a);
+        }
+        // Odd offsets near both boundaries are alignment faults, not
+        // bounds faults — alignment is checked first.
+        assert_eq!(m.load(MEM_SIZE - 3), Err(AccessError::Unaligned { addr: MEM_SIZE - 3 }));
+        assert_eq!(m.load(MEM_SIZE + 2), Err(AccessError::Unaligned { addr: MEM_SIZE + 2 }));
+        assert_eq!(m.store(STACK_TOP + 1, 0), Err(AccessError::Unaligned { addr: STACK_TOP + 1 }));
+    }
+
+    #[test]
+    fn wrap_around_addresses_fault_rather_than_alias() {
+        // A base+offset sum that wraps past u32::MAX must not alias back
+        // into low memory: the wrapped address is simply out of range (or
+        // unaligned) for any realistic memory size.
+        use emask_isa::program::MEM_SIZE;
+        let mut m = DataMemory::new(MEM_SIZE);
+        m.store(0, 0x1234_5678).unwrap();
+        let wrapped = 0xFFFF_FFFCu32; // -4 as an unsigned byte address
+        assert_eq!(
+            m.load(wrapped),
+            Err(AccessError::OutOfBounds { addr: wrapped, size: MEM_SIZE })
+        );
+        assert_eq!(m.load(u32::MAX), Err(AccessError::Unaligned { addr: u32::MAX }));
+        assert_eq!(
+            m.store(wrapped, 9),
+            Err(AccessError::OutOfBounds { addr: wrapped, size: MEM_SIZE })
+        );
+        // Low memory is untouched by the failed stores.
+        assert_eq!(m.load(0).unwrap(), 0x1234_5678);
+    }
 }

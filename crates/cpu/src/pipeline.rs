@@ -1,8 +1,9 @@
 //! The five-stage pipeline and the [`Cpu`] façade.
 
 use crate::activity::{BusSample, CycleActivity, ExActivity, MemActivity};
+use crate::hook::{PipelineHook, RailSkew};
 use crate::memory::{AccessError, DataMemory};
-use crate::observe::PipelineObserver;
+use crate::observe::{Bus, PipelineObserver};
 use crate::regfile::RegisterFile;
 use emask_isa::program::{DATA_BASE, MEM_SIZE, STACK_TOP};
 use emask_isa::{encode, Instruction, Op, OpClass, Program, Reg};
@@ -25,6 +26,16 @@ pub enum CpuErrorKind {
         /// The exhausted budget.
         limit: u64,
     },
+    /// A secure-tagged dual-rail sample carried an ill-formed complement:
+    /// the two rails agreed on at least one bit. Raised by the dual-rail
+    /// integrity checker (a [`PipelineHook`]) — the architectural signature
+    /// of a single-rail fault on a protected path.
+    DualRailViolation {
+        /// The bus/latch whose sample violated the invariant.
+        bus: Bus,
+        /// The bits on which the rails agreed (nonzero).
+        agreeing: u32,
+    },
 }
 
 /// A simulation fault, with the cycle at which it occurred.
@@ -46,6 +57,13 @@ impl fmt::Display for CpuError {
             }
             CpuErrorKind::CycleLimit { limit } => {
                 write!(f, "cycle limit {limit} exhausted before halt")
+            }
+            CpuErrorKind::DualRailViolation { bus, agreeing } => {
+                write!(
+                    f,
+                    "cycle {}: dual-rail violation on {bus:?} bus (rails agree on {agreeing:#010x})",
+                    self.cycle
+                )
             }
         }
     }
@@ -84,38 +102,38 @@ impl RunResult {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct IfId {
-    pc: u32,
-    inst: Instruction,
-    valid: bool,
+pub(crate) struct IfId {
+    pub(crate) pc: u32,
+    pub(crate) inst: Instruction,
+    pub(crate) valid: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct IdEx {
-    pc: u32,
-    inst: Instruction,
+pub(crate) struct IdEx {
+    pub(crate) pc: u32,
+    pub(crate) inst: Instruction,
     /// rs value read in ID.
-    a: u32,
+    pub(crate) a: u32,
     /// rt value read in ID.
-    b: u32,
-    valid: bool,
+    pub(crate) b: u32,
+    pub(crate) valid: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct ExMem {
-    inst: Instruction,
+pub(crate) struct ExMem {
+    pub(crate) inst: Instruction,
     /// ALU result or memory address.
-    alu: u32,
+    pub(crate) alu: u32,
     /// Store data (forwarded rt).
-    store_val: u32,
-    valid: bool,
+    pub(crate) store_val: u32,
+    pub(crate) valid: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct MemWb {
-    inst: Instruction,
-    value: u32,
-    valid: bool,
+pub(crate) struct MemWb {
+    pub(crate) inst: Instruction,
+    pub(crate) value: u32,
+    pub(crate) valid: bool,
 }
 
 const BUBBLE: Instruction = Instruction {
@@ -136,17 +154,20 @@ const BUBBLE: Instruction = Instruction {
 #[derive(Debug, Clone)]
 pub struct Cpu {
     text: Vec<Instruction>,
-    regs: RegisterFile,
-    mem: DataMemory,
-    pc: u32,
-    cycle: u64,
+    pub(crate) regs: RegisterFile,
+    pub(crate) mem: DataMemory,
+    pub(crate) pc: u32,
+    pub(crate) cycle: u64,
     halted: bool,
     fetch_enabled: bool,
-    if_id: IfId,
-    id_ex: IdEx,
-    ex_mem: ExMem,
-    mem_wb: MemWb,
-    stats: RunResult,
+    pub(crate) if_id: IfId,
+    pub(crate) id_ex: IdEx,
+    pub(crate) ex_mem: ExMem,
+    pub(crate) mem_wb: MemWb,
+    pub(crate) stats: RunResult,
+    /// Complement-rail disagreement injected this cycle by a hook; folded
+    /// into the activity record by [`Cpu::step_hooked`] and cleared.
+    pub(crate) rail_skew: RailSkew,
 }
 
 impl Cpu {
@@ -181,6 +202,7 @@ impl Cpu {
             ex_mem: ExMem { inst: BUBBLE, alu: 0, store_val: 0, valid: false },
             mem_wb: MemWb { inst: BUBBLE, value: 0, valid: false },
             stats: RunResult::default(),
+            rail_skew: RailSkew::default(),
         }
     }
 
@@ -286,6 +308,83 @@ impl Cpu {
             crate::observe::dispatch(obs, &activity);
         }
         Ok(self.stats)
+    }
+
+    /// Runs to completion with a [`PipelineHook`] intervening every cycle.
+    ///
+    /// Dispatch is static, exactly as for [`Cpu::run_observed`]: with
+    /// [`crate::NullHook`] every callback inlines to nothing and this is
+    /// the [`Cpu::run`] loop.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cpu::run`], plus whatever [`CpuErrorKind`] the hook's
+    /// `after_cycle` raises (e.g. a dual-rail violation).
+    pub fn run_hooked<H: PipelineHook>(
+        &mut self,
+        max_cycles: u64,
+        hook: &mut H,
+    ) -> Result<RunResult, CpuError> {
+        self.run_hooked_with(max_cycles, hook, |_| {})
+    }
+
+    /// Runs to completion with a [`PipelineHook`] intervening every cycle
+    /// and each (post-hook) [`CycleActivity`] streamed to `observe`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cpu::run_hooked`].
+    pub fn run_hooked_with<H: PipelineHook>(
+        &mut self,
+        max_cycles: u64,
+        hook: &mut H,
+        mut observe: impl FnMut(&CycleActivity),
+    ) -> Result<RunResult, CpuError> {
+        // Compile-time route: a no-op hook gets the plain loop, so the
+        // unfaulted path stays byte-identical to an unhooked run (the
+        // `step_hooked` wrapper costs an extra activity-record copy per
+        // cycle even when its callbacks inline to nothing).
+        if H::IS_NULL {
+            return self.run_with(max_cycles, observe);
+        }
+        while !self.halted {
+            if self.cycle >= max_cycles {
+                return Err(CpuError {
+                    cycle: self.cycle,
+                    kind: CpuErrorKind::CycleLimit { limit: max_cycles },
+                });
+            }
+            let activity = self.step_hooked(hook)?;
+            observe(&activity);
+        }
+        Ok(self.stats)
+    }
+
+    /// Advances the pipeline one clock cycle with a hook intervening:
+    /// `before_cycle` runs first with mutable access to the core, then the
+    /// stages, then any single-rail skew the hook recorded is folded into
+    /// the activity record's complement rails, then `after_cycle` may veto
+    /// the cycle with a typed fault.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cpu::step`], plus the hook's `after_cycle` error.
+    pub fn step_hooked<H: PipelineHook>(
+        &mut self,
+        hook: &mut H,
+    ) -> Result<CycleActivity, CpuError> {
+        hook.before_cycle(&mut crate::hook::HookCtx { cpu: self });
+        let cycle = self.cycle;
+        let mut act = self.step()?;
+        if !self.rail_skew.is_clean() {
+            act.id_ex_a.complement ^= self.rail_skew.id_ex_a;
+            act.id_ex_b.complement ^= self.rail_skew.id_ex_b;
+            act.mem_bus.complement ^= self.rail_skew.mem_bus;
+            act.mem_wb_value.complement ^= self.rail_skew.mem_wb_value;
+            self.rail_skew = RailSkew::default();
+        }
+        hook.after_cycle(&act).map_err(|kind| CpuError { cycle, kind })?;
+        Ok(act)
     }
 
     /// Advances the pipeline one clock cycle.
@@ -832,5 +931,26 @@ mod tests {
             ".data\nv: .word 1\n.text\n la $t0, v\n li $t1, 1\n beq $t1, $t1, out\n li $t2, 99\n sw $t2, 0($t0)\nout: lw $t3, 0($t0)\n halt\n",
         );
         assert_eq!(cpu.reg(Reg::T3), 1);
+    }
+
+    #[test]
+    fn error_display_names_every_fault_kind() {
+        use crate::observe::Bus;
+        let cases = [
+            (
+                CpuErrorKind::Memory(crate::memory::AccessError::Unaligned { addr: 6 }),
+                "cycle 7: unaligned word access at 0x00000006",
+            ),
+            (CpuErrorKind::DivideByZero, "cycle 7: division by zero"),
+            (CpuErrorKind::PcOutOfRange { pc: 40 }, "cycle 7: pc 40 past end of text without halt"),
+            (CpuErrorKind::CycleLimit { limit: 99 }, "cycle limit 99 exhausted before halt"),
+            (
+                CpuErrorKind::DualRailViolation { bus: Bus::OperandA, agreeing: 1 << 4 },
+                "cycle 7: dual-rail violation on OperandA bus (rails agree on 0x00000010)",
+            ),
+        ];
+        for (kind, expected) in cases {
+            assert_eq!(CpuError { cycle: 7, kind }.to_string(), expected);
+        }
     }
 }

@@ -66,10 +66,21 @@ impl Program {
     ///
     /// Panics if the symbol is missing or is a text symbol — intended for
     /// tests and harness code where the label is known to exist.
+    /// CLI-reachable callers should use [`Program::try_data_addr`].
     pub fn data_addr(&self, name: &str) -> u32 {
         match self.symbol(name) {
             Some(Symbol::Data(a)) => a,
             other => panic!("`{name}` is not a data symbol (found {other:?})"),
+        }
+    }
+
+    /// The byte address of a data symbol, or `None` if the symbol is
+    /// missing or names a text location — the non-panicking counterpart of
+    /// [`Program::data_addr`] for fallible (CLI-reachable) paths.
+    pub fn try_data_addr(&self, name: &str) -> Option<u32> {
+        match self.symbol(name) {
+            Some(Symbol::Data(a)) => Some(a),
+            _ => None,
         }
     }
 

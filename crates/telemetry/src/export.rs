@@ -4,7 +4,10 @@
 //!   per-component energy into a CSV document;
 //! * [`metrics_csv`] — per-phase × per-component energy totals from a
 //!   [`MetricsSnapshot`] (the `--metrics-out` format);
-//! * [`summary`] — the human-readable run report behind `--summary`.
+//! * [`summary`] — the human-readable run report behind `--summary`;
+//! * [`campaign_csv`] / [`campaign_summary`] — one row per
+//!   fault-injection trial ([`CampaignTrial`]) and the classified outcome
+//!   totals of a whole campaign (the `--fault-out` formats).
 
 use crate::metrics::{op_class_name, MetricsSnapshot, OP_CLASSES};
 use crate::observer::{PhaseEvent, RunObserver};
@@ -176,6 +179,74 @@ pub fn summary(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// One fault-injection trial's result, as reported by a campaign runner.
+///
+/// Telemetry deliberately knows nothing about fault plans; the campaign
+/// harness renders its targets, models and outcomes to stable short
+/// strings so this layer stays a pure exporter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignTrial {
+    /// Trial index within the campaign.
+    pub index: usize,
+    /// The cycle (or first cycle) at which the fault was scheduled.
+    pub cycle: u64,
+    /// The bit position disturbed.
+    pub bit: u8,
+    /// Target name (e.g. `id_ex.a`, `regfile`, `memory`).
+    pub target: String,
+    /// Fault-model name (e.g. `bit-flip`, `stuck-at`, `glitch`).
+    pub model: String,
+    /// Outcome classification (e.g. `no-effect`, `detected`,
+    /// `wrong-ciphertext`, `crash`, `hang`).
+    pub outcome: String,
+    /// Free-form detail (an error message, or empty).
+    pub detail: String,
+}
+
+/// Renders campaign trials as CSV, one row per trial
+/// (`trial,cycle,bit,target,model,outcome,detail`). Commas and newlines
+/// in the free-form detail are replaced with `;` so the document stays
+/// one-row-per-trial without a quoting dialect.
+pub fn campaign_csv(trials: &[CampaignTrial]) -> String {
+    let mut out = String::from("trial,cycle,bit,target,model,outcome,detail\n");
+    for t in trials {
+        let detail: String =
+            t.detail.chars().map(|c| if c == ',' || c == '\n' { ';' } else { c }).collect();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{detail}",
+            t.index, t.cycle, t.bit, t.target, t.model, t.outcome
+        );
+    }
+    out
+}
+
+/// Renders a campaign's classified outcome totals: one
+/// `<outcome> <count> (<percent>)` line per outcome in first-seen order,
+/// then a `sum N/N` line asserting every trial was classified.
+pub fn campaign_summary(trials: &[CampaignTrial]) -> String {
+    let mut order: Vec<&str> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    for t in trials {
+        match order.iter().position(|&o| o == t.outcome) {
+            Some(i) => counts[i] += 1,
+            None => {
+                order.push(&t.outcome);
+                counts.push(1);
+            }
+        }
+    }
+    let mut out = String::from("fault campaign summary\n======================\n");
+    let total = trials.len();
+    for (o, n) in order.iter().zip(&counts) {
+        let pct = if total == 0 { 0.0 } else { 100.0 * *n as f64 / total as f64 };
+        let _ = writeln!(out, "  {o:<18} {n:>6} ({pct:.1}%)");
+    }
+    let classified: usize = counts.iter().sum();
+    let _ = writeln!(out, "  sum {classified}/{total}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +294,49 @@ mod tests {
         assert!(lines[2].ends_with(",key permutation"));
         // Header column count matches data column count.
         assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    fn trial(i: usize, outcome: &str, detail: &str) -> CampaignTrial {
+        CampaignTrial {
+            index: i,
+            cycle: 10 * i as u64,
+            bit: (i % 32) as u8,
+            target: "id_ex.a".into(),
+            model: "bit-flip".into(),
+            outcome: outcome.into(),
+            detail: detail.into(),
+        }
+    }
+
+    #[test]
+    fn campaign_csv_is_one_row_per_trial_with_sanitized_detail() {
+        let trials = vec![
+            trial(0, "no-effect", ""),
+            trial(1, "crash", "cycle 3: fault, with comma\nnewline"),
+        ];
+        let csv = campaign_csv(&trials);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "trial,cycle,bit,target,model,outcome,detail");
+        assert_eq!(lines[1], "0,0,0,id_ex.a,bit-flip,no-effect,");
+        // The detail's comma and newline were flattened to ';'.
+        assert_eq!(lines[2].split(',').count(), lines[0].split(',').count());
+        assert!(lines[2].ends_with("cycle 3: fault; with comma;newline"));
+    }
+
+    #[test]
+    fn campaign_summary_totals_classify_every_trial() {
+        let trials = vec![
+            trial(0, "no-effect", ""),
+            trial(1, "detected", ""),
+            trial(2, "no-effect", ""),
+            trial(3, "wrong-ciphertext", ""),
+        ];
+        let s = campaign_summary(&trials);
+        assert!(s.contains("no-effect"));
+        assert!(s.contains("2 (50.0%)"));
+        assert!(s.contains("sum 4/4"));
+        assert!(campaign_summary(&[]).contains("sum 0/0"));
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub mod metrics;
 pub mod observer;
 
 pub use chrome::{escape_json, ChromeTrace};
-pub use export::{metrics_csv, summary, CycleCsv, COMPONENT_COLUMNS};
+pub use export::{
+    campaign_csv, campaign_summary, metrics_csv, summary, CampaignTrial, CycleCsv,
+    COMPONENT_COLUMNS,
+};
 pub use metrics::{
     op_class_name, Histogram, MetricsRegistry, MetricsSnapshot, MixEntry, PhaseMetrics, OP_CLASSES,
 };

@@ -17,6 +17,8 @@
 //! * [`attack`] — SPA and DPA ([`emask_attack`]);
 //! * [`telemetry`] — run observers, metrics, and trace export
 //!   ([`emask_telemetry`]);
+//! * [`fault`] — fault injection and dual-rail integrity checking
+//!   ([`emask_fault`]);
 //! * [`core`] — the assembled end-to-end system ([`emask_core`]).
 //!
 //! ## Quickstart
@@ -51,6 +53,7 @@ pub use emask_core as core;
 pub use emask_cpu as cpu;
 pub use emask_des as des;
 pub use emask_energy as energy;
+pub use emask_fault as fault;
 pub use emask_isa as isa;
 pub use emask_telemetry as telemetry;
 

@@ -36,6 +36,32 @@ fn des_program_agrees_between_pipeline_and_iss() {
     assert_agreement(&out.program, 512);
 }
 
+/// Running under the fault hook with nothing injected — and with the
+/// dual-rail checker armed — must be indistinguishable from the plain
+/// pipeline: same statistics, same architectural state, no violations.
+#[test]
+fn hooked_run_with_armed_checker_is_transparent() {
+    let src = des_source(&DesProgramSpec { rounds: 1 });
+    let out = compile(&src, CompileOptions::paper_style(MaskPolicy::Selective)).expect("compile");
+    let mut plain = Cpu::new(&out.program);
+    let plain_stats = plain.run(20_000_000).expect("plain run");
+    let mut hooked = Cpu::new(&out.program);
+    let mut hook = (emask::cpu::NullHook, emask::fault::DualRailChecker::new());
+    let hooked_stats = hooked.run_hooked(20_000_000, &mut hook).expect("hooked run");
+    assert_eq!(plain_stats, hooked_stats, "run statistics diverged");
+    for r in Reg::ALL {
+        assert_eq!(plain.reg(r), hooked.reg(r), "register {r} diverged");
+    }
+    assert_eq!(
+        plain.memory().read_words(DATA_BASE, 512),
+        hooked.memory().read_words(DATA_BASE, 512),
+        "data memory diverged"
+    );
+    let checker = hook.1;
+    assert_eq!(checker.cycles_checked(), hooked_stats.cycles);
+    assert!(checker.samples_checked() > 0, "a masked DES run must expose secure samples");
+}
+
 /// A family of random-but-terminating Tiny-C programs: a global array
 /// initialized from random constants, a bounded loop applying a random
 /// mix of operations, and a random reduction.
