@@ -8,8 +8,10 @@
 //! scheme that only defeated single-bit DPA would not survive it, so this
 //! crate brings it to bear on the simulator too.
 
-use crate::dpa::selection_bit;
+use crate::dpa::{plaintext_for, selection_bit};
+use crate::online::OnlineCpa;
 use crate::progress::AttackProgress;
+use emask_par::{merge_shards, run_sharded, Jobs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -170,6 +172,38 @@ where
     CpaResult { peaks, peak_cycles, best_guess, margin }
 }
 
+/// Parallel, single-pass [`cpa_recover_subkey`]: acquisition is sharded
+/// across `jobs` workers and each trace is folded straight into an
+/// [`OnlineCpa`] accumulator — memory stays O(guesses × trace_len)
+/// regardless of `cfg.samples`, and the result is bit-identical for any
+/// `jobs` value. Plaintexts come from
+/// [`plaintext_for`](crate::dpa::plaintext_for), so the trace set differs
+/// from the sequential-RNG [`cpa_recover_subkey`] at the same seed.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples < 2` or `cfg.sbox >= 8`.
+pub fn cpa_recover_subkey_par<F>(oracle: &F, cfg: &CpaConfig, jobs: Jobs) -> CpaResult
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+{
+    assert!(cfg.samples >= 2, "correlation needs at least two samples");
+    let proto = OnlineCpa::new(cfg.sbox);
+    let accs = run_sharded(jobs, cfg.samples, |_, range| {
+        let mut acc = proto.clone();
+        for i in range {
+            let p = plaintext_for(cfg.seed, i as u64);
+            acc.push(p, &oracle(p)).expect("oracle produced a misaligned trace");
+        }
+        acc
+    });
+    merge_shards(accs, |a, b| {
+        a.merge(&b).expect("shards saw traces of different widths");
+    })
+    .expect("samples >= 2 yields at least one shard")
+    .result()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,5 +269,23 @@ mod tests {
         let cfg = CpaConfig { samples: 64, sbox: 0, seed: 3 };
         let r = cpa_recover_subkey(hw_oracle(0), &cfg);
         assert!(r.to_string().contains("|r|"));
+    }
+
+    #[test]
+    fn parallel_cpa_recovers_subkey_and_ignores_job_count() {
+        use emask_par::Jobs;
+        let subkey = KeySchedule::new(KEY).round_key(1).sbox_slice(0);
+        let oracle = move |p: u64| {
+            let hw = f64::from(predicted_hamming_weight(p, subkey, 0));
+            vec![100.0 + (p % 23) as f64, 100.0 + 3.0 * hw, 100.0 - (p % 7) as f64]
+        };
+        let cfg = CpaConfig { samples: 300, sbox: 0, seed: 77 };
+        let serial = cpa_recover_subkey_par(&oracle, &cfg, Jobs::serial());
+        assert_eq!(serial.best_guess, subkey, "{serial}");
+        assert!(serial.peaks[subkey as usize] > 0.95, "{serial}");
+        for jobs in [2usize, 4, 7] {
+            let par = cpa_recover_subkey_par(&oracle, &cfg, Jobs::new(jobs).unwrap());
+            assert_eq!(par, serial, "jobs = {jobs}");
+        }
     }
 }

@@ -9,11 +9,13 @@
 //! decorrelate and flatten; a masked implementation flattens *every*
 //! guess.
 
+use crate::online::OnlineDpa;
 use crate::progress::AttackProgress;
 use crate::stats::{difference_of_means, peak, TraceMatrix};
 use emask_des::bits::permute;
 use emask_des::cipher::sbox_lookup;
 use emask_des::tables::{E, IP};
+use emask_par::{merge_shards, par_map, run_sharded, trial_seed, Jobs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -80,12 +82,25 @@ impl fmt::Display for DpaResult {
 /// Panics if `sbox >= 8`, `bit >= 4`, or `guess >= 64`.
 pub fn selection_bit(plaintext: u64, guess: u8, sbox: usize, bit: usize) -> bool {
     assert!(sbox < 8 && bit < 4 && guess < 64);
+    let s_out = sbox_lookup(sbox, sbox_chunk(plaintext, sbox) ^ guess);
+    (s_out >> (3 - bit)) & 1 == 1
+}
+
+/// The 6-bit S-box input chunk `E(R0)` feeds into S-box `sbox` in round 1,
+/// before the subkey XOR — the plaintext-derived half of the selection
+/// function. Computing it once per trace lets single-pass accumulators
+/// evaluate all 64 guesses with one table lookup each instead of repeating
+/// the permutations per guess.
+///
+/// # Panics
+///
+/// Panics if `sbox >= 8`.
+pub fn sbox_chunk(plaintext: u64, sbox: usize) -> u8 {
+    assert!(sbox < 8);
     let permuted = permute(plaintext, 64, &IP);
     let r0 = permuted as u32;
     let expanded = permute(u64::from(r0), 32, &E);
-    let chunk = ((expanded >> (42 - 6 * sbox)) & 0x3F) as u8;
-    let s_out = sbox_lookup(sbox, chunk ^ guess);
-    (s_out >> (3 - bit)) & 1 == 1
+    ((expanded >> (42 - 6 * sbox)) & 0x3F) as u8
 }
 
 /// Collects the trace set for a campaign: `samples` random plaintexts and
@@ -133,6 +148,43 @@ where
     (plaintexts, traces)
 }
 
+/// The plaintext of trial `index` in a seed-per-trial campaign: drawn from
+/// an RNG seeded with [`trial_seed`]`(seed, index)`, so it is a pure
+/// function of the pair — any worker can produce trial `index`'s input
+/// without consuming a shared RNG stream. The parallel entry points use
+/// this instead of the sequential draw in [`collect_traces`], which is why
+/// their trace sets differ from the legacy serial ones (but are identical
+/// across `--jobs` counts).
+#[must_use]
+pub fn plaintext_for(seed: u64, index: u64) -> u64 {
+    StdRng::seed_from_u64(trial_seed(seed, index)).gen()
+}
+
+/// Parallel [`collect_traces`]: shards acquisition across `jobs` workers
+/// with per-trial plaintexts from [`plaintext_for`]. The returned vectors
+/// are in trial order and identical for any `jobs` value.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn collect_traces_par<F>(
+    oracle: &F,
+    samples: usize,
+    seed: u64,
+    jobs: Jobs,
+) -> (Vec<u64>, Vec<Vec<f64>>)
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+{
+    assert!(samples > 0, "need at least one sample");
+    let pairs = par_map(jobs, samples, |i| {
+        let p = plaintext_for(seed, i as u64);
+        let t = oracle(p);
+        (p, t)
+    });
+    pairs.into_iter().unzip()
+}
+
 /// Partition-and-difference analysis over an already-collected trace set:
 /// the peak |difference of means| per guess for one selection bit.
 ///
@@ -166,7 +218,7 @@ pub fn analyze_bit(
     (peaks, peak_cycles)
 }
 
-fn result_from_peaks(peaks: [f64; 64], peak_cycles: [usize; 64]) -> DpaResult {
+pub(crate) fn result_from_peaks(peaks: [f64; 64], peak_cycles: [usize; 64]) -> DpaResult {
     let best_guess = (0..64).max_by(|&a, &b| peaks[a].total_cmp(&peaks[b])).unwrap_or(0) as u8;
     let best = peaks[best_guess as usize];
     let second = peaks
@@ -264,6 +316,64 @@ where
     let result = result_from_peaks(peaks, peak_cycles);
     progress.on_complete(result.best_guess, result.margin);
     result
+}
+
+/// Shards a streaming-DPA campaign across `jobs` workers: each shard folds
+/// its trials into a clone of `proto`, shards merge in fixed order.
+fn run_online_dpa<F>(
+    oracle: &F,
+    samples: usize,
+    seed: u64,
+    jobs: Jobs,
+    proto: OnlineDpa,
+) -> DpaResult
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+{
+    assert!(samples > 0, "need at least one sample");
+    let accs = run_sharded(jobs, samples, |_, range| {
+        let mut acc = proto.clone();
+        for i in range {
+            let p = plaintext_for(seed, i as u64);
+            acc.push(p, &oracle(p)).expect("oracle produced a misaligned trace");
+        }
+        acc
+    });
+    merge_shards(accs, |a, b| {
+        a.merge(&b).expect("shards saw traces of different widths");
+    })
+    .unwrap_or(proto)
+    .result()
+}
+
+/// Parallel, single-pass [`recover_subkey`]: trace acquisition is sharded
+/// across `jobs` workers and each trace is folded straight into an
+/// [`OnlineDpa`] accumulator — memory stays O(guesses × trace_len)
+/// regardless of `cfg.samples`, and the result is bit-identical for any
+/// `jobs` value. Plaintexts come from [`plaintext_for`], so the trace set
+/// differs from the sequential-RNG [`recover_subkey`] at the same seed.
+///
+/// # Panics
+///
+/// Panics if the configuration is out of range or `samples == 0`.
+pub fn recover_subkey_par<F>(oracle: &F, cfg: &DpaConfig, jobs: Jobs) -> DpaResult
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+{
+    run_online_dpa(oracle, cfg.samples, cfg.seed, jobs, OnlineDpa::single(cfg.sbox, cfg.bit))
+}
+
+/// Parallel, single-pass [`recover_subkey_multibit`]; see
+/// [`recover_subkey_par`] for the sharding and seeding contract.
+///
+/// # Panics
+///
+/// As for [`recover_subkey_par`].
+pub fn recover_subkey_multibit_par<F>(oracle: &F, cfg: &DpaConfig, jobs: Jobs) -> DpaResult
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+{
+    run_online_dpa(oracle, cfg.samples, cfg.seed, jobs, OnlineDpa::multibit(cfg.sbox, cfg.bit))
 }
 
 #[cfg(test)]
@@ -387,5 +497,47 @@ mod tests {
     fn zero_samples_rejected() {
         let cfg = DpaConfig { samples: 0, ..DpaConfig::default() };
         recover_subkey(flat_oracle, &cfg);
+    }
+
+    /// The leaky oracle as a `Fn + Sync` closure for the parallel paths.
+    fn sync_leaky_oracle(sbox: usize, bit: usize) -> impl Fn(u64) -> Vec<f64> + Sync {
+        let subkey = KeySchedule::new(KEY).round_key(1).sbox_slice(sbox);
+        move |p: u64| {
+            let b = selection_bit(p, subkey, sbox, bit);
+            let filler = (p % 17) as f64;
+            vec![100.0 + filler, 100.0 + if b { 25.0 } else { 0.0 }, 100.0 - filler]
+        }
+    }
+
+    #[test]
+    fn parallel_dpa_recovers_subkey_and_ignores_job_count() {
+        let subkey = KeySchedule::new(KEY).round_key(1).sbox_slice(0);
+        let oracle = sync_leaky_oracle(0, 0);
+        let cfg = DpaConfig { samples: 400, sbox: 0, bit: 0, seed: 42 };
+        let serial = recover_subkey_par(&oracle, &cfg, Jobs::serial());
+        assert!(serial.recovered(subkey, 1.5), "{serial}");
+        for jobs in [2usize, 4, 7] {
+            let par = recover_subkey_par(&oracle, &cfg, Jobs::new(jobs).unwrap());
+            assert_eq!(par, serial, "jobs = {jobs}");
+        }
+        // The multibit variant wants all four output bits leaking — give it
+        // a Hamming-weight oracle and it singles the subkey out sharply.
+        let hw_oracle = move |p: u64| {
+            let hw: f64 = (0..4).map(|b| f64::from(selection_bit(p, subkey, 0, b))).sum();
+            vec![100.0 + (p % 17) as f64, 100.0 + 10.0 * hw]
+        };
+        let multi = recover_subkey_multibit_par(&hw_oracle, &cfg, Jobs::new(4).unwrap());
+        assert!(multi.recovered(subkey, 1.5), "{multi}");
+        assert_eq!(multi, recover_subkey_multibit_par(&hw_oracle, &cfg, Jobs::new(7).unwrap()));
+    }
+
+    #[test]
+    fn parallel_collection_is_in_trial_order_for_any_job_count() {
+        let oracle = |p: u64| vec![(p % 251) as f64];
+        let (p1, t1) = collect_traces_par(&oracle, 100, 7, Jobs::serial());
+        let (p4, t4) = collect_traces_par(&oracle, 100, 7, Jobs::new(4).unwrap());
+        assert_eq!(p1, p4);
+        assert_eq!(t1, t4);
+        assert_eq!(p1[3], plaintext_for(7, 3));
     }
 }

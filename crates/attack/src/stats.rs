@@ -1,5 +1,35 @@
 //! Trace statistics: the arithmetic behind DPA.
 
+use std::fmt;
+
+/// Typed failures of the trace-statistics layer.
+///
+/// Misaligned traces and degenerate matrices used to surface as panics
+/// deep inside an attack; harness code (campaign runners, CLIs) wants to
+/// classify them instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// A trace's length disagrees with the matrix / accumulator width.
+    WidthMismatch {
+        /// The established width.
+        expected: usize,
+        /// The offending trace's length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::WidthMismatch { expected, got } => {
+                write!(f, "misaligned trace: expected width {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
 /// A set of equal-length power traces (one row per encryption run).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceMatrix {
@@ -19,13 +49,27 @@ impl TraceMatrix {
     ///
     /// Panics if the trace length differs from earlier rows — DPA requires
     /// aligned traces, and the simulator produces perfectly aligned ones.
+    /// Harness code that cannot rule out misalignment should use
+    /// [`TraceMatrix::try_push`].
     pub fn push(&mut self, trace: Vec<f64>) {
+        self.try_push(trace).expect("misaligned trace");
+    }
+
+    /// Adds one trace, reporting a width disagreement as a typed error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::WidthMismatch`] when the trace length differs from
+    /// earlier rows; the matrix is left unchanged.
+    pub fn try_push(&mut self, trace: Vec<f64>) -> Result<(), StatsError> {
         if self.rows.is_empty() {
             self.width = trace.len();
-        } else {
-            assert_eq!(trace.len(), self.width, "misaligned trace");
+        } else if trace.len() != self.width {
+            return Err(StatsError::WidthMismatch { expected: self.width, got: trace.len() });
         }
         self.rows.push(trace);
+        Ok(())
     }
 
     /// Number of traces.
@@ -136,6 +180,41 @@ pub fn welch_t(g0: &TraceMatrix, g1: &TraceMatrix) -> Vec<f64> {
         .collect()
 }
 
+/// [`difference_of_means`] with the group widths checked: two non-empty
+/// groups of different widths are a data-handling bug the caller should
+/// hear about, not a silently truncated statistic.
+///
+/// # Errors
+///
+/// [`StatsError::WidthMismatch`] when both groups are non-empty and their
+/// widths differ.
+pub fn difference_of_means_checked(
+    g0: &TraceMatrix,
+    g1: &TraceMatrix,
+) -> Result<Vec<f64>, StatsError> {
+    check_group_widths(g0, g1)?;
+    Ok(difference_of_means(g0, g1))
+}
+
+/// [`welch_t`] with the group widths checked; see
+/// [`difference_of_means_checked`].
+///
+/// # Errors
+///
+/// [`StatsError::WidthMismatch`] when both groups are non-empty and their
+/// widths differ.
+pub fn welch_t_checked(g0: &TraceMatrix, g1: &TraceMatrix) -> Result<Vec<f64>, StatsError> {
+    check_group_widths(g0, g1)?;
+    Ok(welch_t(g0, g1))
+}
+
+fn check_group_widths(g0: &TraceMatrix, g1: &TraceMatrix) -> Result<(), StatsError> {
+    if !g0.is_empty() && !g1.is_empty() && g0.width() != g1.width() {
+        return Err(StatsError::WidthMismatch { expected: g0.width(), got: g1.width() });
+    }
+    Ok(())
+}
+
 /// Largest absolute value in a statistic trace, with its index.
 pub fn peak(stat: &[f64]) -> (usize, f64) {
     stat.iter().enumerate().map(|(i, &v)| (i, v.abs())).fold((0, 0.0), |best, cur| {
@@ -216,5 +295,68 @@ mod tests {
         let mut mm = TraceMatrix::new();
         mm.push(vec![1.0, 2.0]);
         mm.push(vec![1.0]);
+    }
+
+    #[test]
+    fn try_push_reports_misalignment_as_typed_error() {
+        let mut mm = TraceMatrix::new();
+        mm.try_push(vec![1.0, 2.0]).expect("first row sets the width");
+        let err = mm.try_push(vec![1.0]).unwrap_err();
+        assert_eq!(err, StatsError::WidthMismatch { expected: 2, got: 1 });
+        assert!(err.to_string().contains("expected width 2"));
+        // The rejected row was not recorded.
+        assert_eq!(mm.len(), 1);
+        assert_eq!(mm.width(), 2);
+        // A matching row still lands.
+        mm.try_push(vec![3.0, 4.0]).expect("aligned row accepted");
+        assert_eq!(mm.len(), 2);
+    }
+
+    #[test]
+    fn empty_matrix_statistics_are_empty_not_panics() {
+        let empty = TraceMatrix::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.width(), 0);
+        assert_eq!(mean_trace(&empty), Vec::<f64>::new());
+        assert_eq!(variance_trace(&empty), Vec::<f64>::new());
+        assert_eq!(difference_of_means(&empty, &empty), Vec::<f64>::new());
+        assert_eq!(welch_t(&empty, &empty), Vec::<f64>::new());
+        assert_eq!(peak(&mean_trace(&empty)), (0, 0.0));
+    }
+
+    #[test]
+    fn checked_statistics_reject_mismatched_group_widths() {
+        let g0 = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let g1 = m(&[&[1.0], &[2.0]]);
+        let err = difference_of_means_checked(&g0, &g1).unwrap_err();
+        assert_eq!(err, StatsError::WidthMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            welch_t_checked(&g0, &g1),
+            Err(StatsError::WidthMismatch { expected: 2, got: 1 })
+        );
+        // An empty group is not a width conflict (it means "no evidence").
+        let empty = TraceMatrix::new();
+        assert_eq!(difference_of_means_checked(&empty, &g0).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(welch_t_checked(&g0, &g0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn welch_t_propagates_nan_instead_of_hiding_it() {
+        // A NaN sample poisons that cycle's t (mean and variance are NaN,
+        // the `denom < eps` guard is false for NaN) and leaves the other
+        // cycles untouched — corrupt input is visible, never laundered
+        // into a plausible statistic.
+        let g0 = m(&[&[1.0, f64::NAN], &[2.0, f64::NAN]]);
+        let g1 = m(&[&[5.0, 1.0], &[6.0, 2.0]]);
+        let t = welch_t(&g0, &g1);
+        assert!(t[0].is_finite(), "clean cycle stays finite: {t:?}");
+        assert!(t[1].is_nan(), "NaN input must surface as NaN: {t:?}");
+    }
+
+    #[test]
+    fn peak_on_all_equal_input_picks_the_first_index() {
+        assert_eq!(peak(&[2.5, 2.5, 2.5]), (0, 2.5));
+        assert_eq!(peak(&[-2.5, -2.5]), (0, 2.5));
+        assert_eq!(peak(&[0.0, 0.0]), (0, 0.0));
     }
 }

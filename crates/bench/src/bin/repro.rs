@@ -9,11 +9,12 @@
 //! Every figure prints its data series (CSV-ish) plus an ASCII rendering;
 //! EXPERIMENTS.md records the paper-vs-measured comparison.
 
-use emask_bench::campaign::{run_campaign, CampaignConfig, FaultOutcome};
+use emask_bench::campaign::{run_campaign_par, CampaignConfig, FaultOutcome};
 use emask_bench::experiments::{self, KEY, PLAINTEXT};
 use emask_core::{
     ChromeTrace, DesProgramSpec, EncryptionRun, EnergyTrace, MaskPolicy, MaskedDes, MetricsRegistry,
 };
+use emask_par::Jobs;
 use emask_telemetry::{metrics_csv, summary};
 use std::env;
 use std::fs;
@@ -52,6 +53,7 @@ struct Opts {
     fault_trials: usize,
     fault_bits: Vec<u8>,
     fault_out: Option<String>,
+    jobs: Jobs,
 }
 
 fn main() -> ExitCode {
@@ -67,6 +69,7 @@ fn main() -> ExitCode {
         fault_trials: 1000,
         fault_bits: CampaignConfig::default().bits,
         fault_out: None,
+        jobs: Jobs::serial(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -107,6 +110,11 @@ fn main() -> ExitCode {
             "--fault-out" => match it.next() {
                 Some(path) => opts.fault_out = Some(path.clone()),
                 None => return usage("--fault-out needs a file path"),
+            },
+            "--jobs" => match it.next().map(|v| Jobs::parse(v)) {
+                Some(Ok(jobs)) => opts.jobs = jobs,
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--jobs needs a thread count or `auto`"),
             },
             flag if flag.starts_with("--") => {
                 return usage(&format!("unknown flag `{flag}`"));
@@ -172,12 +180,16 @@ fn main() -> ExitCode {
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [--rounds N] [--samples N] [--no-plot] [--trace-out FILE] \
+        "usage: repro [--rounds N] [--samples N] [--jobs N|auto] [--no-plot] [--trace-out FILE] \
          [--metrics-out FILE] [--summary] [--fault-trials N] [--fault-bits B,B,...] \
          [--fault-out FILE] <all|{}>...",
         EXPERIMENTS.join("|")
     );
     eprintln!("  --rounds/--samples may be given more than once; the last value wins");
+    eprintln!(
+        "  --jobs        worker threads for dpa/cpa/tvla/fault (`auto` = all cores); \
+         results are identical for any value"
+    );
     eprintln!("  --trace-out   write a Chrome trace-event JSON of one observed encryption");
     eprintln!("  --metrics-out write per-phase x per-component energy CSV of that run");
     eprintln!("  --summary     print the human-readable telemetry report of that run");
@@ -328,11 +340,17 @@ fn spa(opts: &Opts) {
 }
 
 fn dpa(opts: &Opts) {
-    println!("== DPA: round-1 subkey recovery, S-box 1, {} samples ==", opts.samples);
+    println!(
+        "== DPA: round-1 subkey recovery, S-box 1, {} samples, {} jobs ==",
+        opts.samples,
+        opts.jobs.get()
+    );
     let rounds = opts.rounds.min(4); // round 1 is all DPA needs
-    let unmasked = experiments::dpa_attack(MaskPolicy::None, rounds, opts.samples, 0);
+    let unmasked =
+        experiments::dpa_attack_par(MaskPolicy::None, rounds, opts.samples, 0, opts.jobs);
     println!("before masking: {unmasked}");
-    let masked = experiments::dpa_attack(MaskPolicy::Selective, rounds, opts.samples, 0);
+    let masked =
+        experiments::dpa_attack_par(MaskPolicy::Selective, rounds, opts.samples, 0, opts.jobs);
     println!("after masking:  {masked}");
     let ok = unmasked.recovered && !masked.recovered;
     println!(
@@ -347,9 +365,11 @@ fn cpa(opts: &Opts) {
         opts.samples
     );
     let rounds = opts.rounds.min(4);
-    let unmasked = experiments::cpa_attack(MaskPolicy::None, rounds, opts.samples, 0);
+    let unmasked =
+        experiments::cpa_attack_par(MaskPolicy::None, rounds, opts.samples, 0, opts.jobs);
     println!("before masking: {unmasked}");
-    let masked = experiments::cpa_attack(MaskPolicy::Selective, rounds, opts.samples, 0);
+    let masked =
+        experiments::cpa_attack_par(MaskPolicy::Selective, rounds, opts.samples, 0, opts.jobs);
     println!("after masking:  {masked}");
 }
 
@@ -357,9 +377,9 @@ fn tvla(opts: &Opts) {
     println!("== TVLA: fixed-vs-random-key Welch t (extension; threshold 4.5) ==");
     let rounds = opts.rounds.min(2);
     let groups = (opts.samples / 4).max(8);
-    let unmasked = experiments::tvla(MaskPolicy::None, rounds, groups, 11);
+    let unmasked = experiments::tvla_par(MaskPolicy::None, rounds, groups, 11, opts.jobs);
     println!("before masking: {unmasked}");
-    let masked = experiments::tvla(MaskPolicy::Selective, rounds, groups, 11);
+    let masked = experiments::tvla_par(MaskPolicy::Selective, rounds, groups, 11, opts.jobs);
     println!("after masking:  {masked}");
 }
 
@@ -412,8 +432,11 @@ fn ablations(opts: &Opts) {
 /// armed, classifying every trial into the five outcome categories.
 fn fault(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     println!(
-        "== Fault campaign: {} trials, bits {:?}, selective masking, {} rounds ==",
-        opts.fault_trials, opts.fault_bits, opts.rounds
+        "== Fault campaign: {} trials, bits {:?}, selective masking, {} rounds, {} jobs ==",
+        opts.fault_trials,
+        opts.fault_bits,
+        opts.rounds,
+        opts.jobs.get()
     );
     let des =
         MaskedDes::compile_spec(MaskPolicy::Selective, &DesProgramSpec { rounds: opts.rounds })?;
@@ -423,7 +446,7 @@ fn fault(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
         plaintext: PLAINTEXT,
         key: KEY,
     };
-    let report = run_campaign(&des, &cfg)?;
+    let report = run_campaign_par(&des, &cfg, opts.jobs)?;
     println!("clean run: {} cycles; cycle budget per trial: 2x", report.clean_cycles);
     print!("{}", report.summary());
     let detected = report.count(FaultOutcome::Detected);

@@ -33,6 +33,7 @@ use emask_fault::{
     DualRailChecker, FaultInjector, FaultModel, FaultPlan, FaultSpec, FaultTarget, FaultTrigger,
 };
 use emask_isa::OpClass;
+use emask_par::{par_map, Jobs};
 use emask_telemetry::{campaign_csv, campaign_summary, CampaignTrial};
 
 /// The five-way outcome classification of one fault-injection trial.
@@ -216,7 +217,10 @@ fn classify(result: &Result<EncryptionRun, RunError>) -> (FaultOutcome, String) 
     }
 }
 
-/// Runs a fault campaign against `des`.
+/// Runs a fault campaign against `des`, single-threaded. Equivalent to
+/// [`run_campaign_par`] with [`Jobs::serial`] — and byte-identical to it
+/// at any worker count, since the trial lattice is a pure function of the
+/// trial index.
 ///
 /// The clean baseline run must succeed (its failure is the returned
 /// error); after that **no trial can panic or abort the campaign** —
@@ -226,6 +230,25 @@ fn classify(result: &Result<EncryptionRun, RunError>) -> (FaultOutcome, String) 
 ///
 /// Returns the clean baseline run's [`RunError`], if any.
 pub fn run_campaign(des: &MaskedDes, cfg: &CampaignConfig) -> Result<CampaignReport, RunError> {
+    run_campaign_par(des, cfg, Jobs::serial())
+}
+
+/// [`run_campaign`] sharded across `jobs` worker threads.
+///
+/// Every trial is independent — a fresh simulated machine with one
+/// planned fault — and the lattice needs no RNG, so workers run disjoint
+/// contiguous index shards against a shared `&MaskedDes` and the rows are
+/// reassembled in trial order: the report is byte-identical for any
+/// `jobs` value, only the wall-clock changes.
+///
+/// # Errors
+///
+/// Returns the clean baseline run's [`RunError`], if any.
+pub fn run_campaign_par(
+    des: &MaskedDes,
+    cfg: &CampaignConfig,
+    jobs: Jobs,
+) -> Result<CampaignReport, RunError> {
     let clean = des.encrypt(cfg.plaintext, cfg.key)?;
     let clean_cycles = clean.stats.cycles;
     // A faulted run that loops forever must terminate promptly: twice the
@@ -234,9 +257,7 @@ pub fn run_campaign(des: &MaskedDes, cfg: &CampaignConfig) -> Result<CampaignRep
     let key_addr = des.program().try_data_addr("key");
 
     let bits = if cfg.bits.is_empty() { vec![0u8] } else { cfg.bits.clone() };
-    let mut trials = Vec::with_capacity(cfg.trials);
-    let mut counts = [0usize; 5];
-    for i in 0..cfg.trials {
+    let rows = par_map(jobs, cfg.trials, |i| {
         // Spread strike cycles across the whole clean run.
         let cycle = (i as u64).wrapping_mul(clean_cycles) / cfg.trials.max(1) as u64;
         let bit = bits[i % bits.len()];
@@ -244,8 +265,7 @@ pub fn run_campaign(des: &MaskedDes, cfg: &CampaignConfig) -> Result<CampaignRep
         let mut hook = (FaultInjector::new(FaultPlan::single(spec)), DualRailChecker::new());
         let result = des.encrypt_hooked(cfg.plaintext, cfg.key, &mut hook);
         let (outcome, detail) = classify(&result);
-        counts[outcome.index()] += 1;
-        trials.push(CampaignTrial {
+        let trial = CampaignTrial {
             index: i,
             cycle,
             bit,
@@ -253,7 +273,14 @@ pub fn run_campaign(des: &MaskedDes, cfg: &CampaignConfig) -> Result<CampaignRep
             model: spec.model.name().to_string(),
             outcome: outcome.name().to_string(),
             detail,
-        });
+        };
+        (trial, outcome)
+    });
+    let mut trials = Vec::with_capacity(cfg.trials);
+    let mut counts = [0usize; 5];
+    for (trial, outcome) in rows {
+        counts[outcome.index()] += 1;
+        trials.push(trial);
     }
     Ok(CampaignReport { trials, counts, clean_cycles })
 }

@@ -1,7 +1,10 @@
 //! The experiment implementations behind every figure and table.
 
-use emask_attack::cpa::{cpa_recover_subkey, CpaConfig, CpaResult};
-use emask_attack::dpa::{recover_subkey_multibit, DpaConfig, DpaResult};
+use emask_attack::cpa::{cpa_recover_subkey, cpa_recover_subkey_par, CpaConfig, CpaResult};
+use emask_attack::dpa::{
+    recover_subkey_multibit, recover_subkey_multibit_par, DpaConfig, DpaResult,
+};
+use emask_attack::online::OnlineWelch;
 use emask_attack::spa::{detect_rounds, SpaReport};
 use emask_attack::stats::{welch_t, TraceMatrix};
 use emask_core::desgen::DesProgramSpec;
@@ -12,6 +15,7 @@ use emask_des::KeySchedule;
 use emask_energy::EnergyModel;
 use emask_energy::{FunctionalUnit, UnitState};
 use emask_isa::OpClass;
+use emask_par::{merge_shards, run_sharded, trial_seed, Jobs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -241,6 +245,34 @@ pub fn dpa_attack(policy: MaskPolicy, rounds: usize, samples: usize, sbox: usize
     DpaOutcome { true_subkey, result, recovered }
 }
 
+/// [`dpa_attack`] with trace acquisition sharded across `jobs` worker
+/// threads, each driving the shared compiled simulator through
+/// [`MaskedDes::trace_oracle`] and folding traces into single-pass
+/// accumulators. Plaintexts are seeded per trial, so the verdict is
+/// identical for any `jobs` value (but uses a different trace set than the
+/// sequential-RNG [`dpa_attack`]).
+pub fn dpa_attack_par(
+    policy: MaskPolicy,
+    rounds: usize,
+    samples: usize,
+    sbox: usize,
+    jobs: Jobs,
+) -> DpaOutcome {
+    let des = compile(policy, rounds);
+    let window = des
+        .encrypt(PLAINTEXT, KEY)
+        .expect("probe run")
+        .phase_window(Phase::Round(1))
+        .expect("round 1");
+    let oracle = des.trace_oracle(KEY, window);
+    let cfg = DpaConfig { samples, sbox, bit: 0, seed: 0xE5CA_1ADE };
+    let result = recover_subkey_multibit_par(&oracle, &cfg, jobs);
+    let true_subkey = KeySchedule::new(KEY).round_key(1).sbox_slice(sbox);
+    let best = result.peaks[result.best_guess as usize];
+    let recovered = result.best_guess == true_subkey && result.margin > 1.0 && best > 0.5;
+    DpaOutcome { true_subkey, result, recovered }
+}
+
 /// Outcome of a CPA campaign against the simulator.
 #[derive(Debug, Clone)]
 pub struct CpaOutcome {
@@ -280,6 +312,30 @@ pub fn cpa_attack(policy: MaskPolicy, rounds: usize, samples: usize, sbox: usize
     };
     let cfg = CpaConfig { samples, sbox, seed: 0xCAFE };
     let result = cpa_recover_subkey(oracle, &cfg);
+    let true_subkey = KeySchedule::new(KEY).round_key(1).sbox_slice(sbox);
+    let best = result.peaks[result.best_guess as usize];
+    let recovered = result.best_guess == true_subkey && result.margin > 1.0 && best > 0.2;
+    CpaOutcome { true_subkey, result, recovered }
+}
+
+/// [`cpa_attack`] with trace acquisition sharded across `jobs` worker
+/// threads; see [`dpa_attack_par`] for the seeding and sharing contract.
+pub fn cpa_attack_par(
+    policy: MaskPolicy,
+    rounds: usize,
+    samples: usize,
+    sbox: usize,
+    jobs: Jobs,
+) -> CpaOutcome {
+    let des = compile(policy, rounds);
+    let window = des
+        .encrypt(PLAINTEXT, KEY)
+        .expect("probe run")
+        .phase_window(Phase::Round(1))
+        .expect("round 1");
+    let oracle = des.trace_oracle(KEY, window);
+    let cfg = CpaConfig { samples, sbox, seed: 0xCAFE };
+    let result = cpa_recover_subkey_par(&oracle, &cfg, jobs);
     let true_subkey = KeySchedule::new(KEY).round_key(1).sbox_slice(sbox);
     let best = result.peaks[result.best_guess as usize];
     let recovered = result.best_guess == true_subkey && result.margin > 1.0 && best > 0.2;
@@ -519,6 +575,53 @@ pub fn tvla(policy: MaskPolicy, rounds: usize, group_size: usize, seed: u64) -> 
         random.push(r.trace.window(start..end).samples().to_vec());
     }
     let t = welch_t(&fixed, &random);
+    let (at_cycle, max_t) =
+        t.iter().enumerate().fold(
+            (0, 0.0f64),
+            |best, (i, &v)| {
+                if v.abs() > best.1 {
+                    (i, v.abs())
+                } else {
+                    best
+                }
+            },
+        );
+    let leaky_cycles = t.iter().filter(|v| v.abs() >= 4.5).count();
+    TvlaReport { max_t, at_cycle, leaky_cycles, group_size }
+}
+
+/// [`tvla`] with acquisition sharded across `jobs` workers, folding each
+/// trace pair straight into streaming [`OnlineWelch`] accumulators — no
+/// trace matrix is retained, and the per-trial random key is derived from
+/// `(seed, trial index)`, so the report is identical for any `jobs` value
+/// (but uses a different key stream than the sequential-RNG [`tvla`]).
+pub fn tvla_par(
+    policy: MaskPolicy,
+    rounds: usize,
+    group_size: usize,
+    seed: u64,
+    jobs: Jobs,
+) -> TvlaReport {
+    let des = compile(policy, rounds);
+    let probe = des.encrypt(PLAINTEXT, KEY).expect("probe");
+    let start = probe.phase_window(Phase::KeyPermutation).expect("kp").start;
+    let end = probe.phase_window(Phase::Round(rounds as u8)).expect("last round").end;
+    let accs = run_sharded(jobs, group_size, |_, range| {
+        let mut acc = OnlineWelch::new();
+        for i in range {
+            let f = des.encrypt(PLAINTEXT, KEY).expect("fixed run");
+            acc.g0.push(f.trace.window(start..end).samples()).expect("aligned traces");
+            let k: u64 = StdRng::seed_from_u64(trial_seed(seed, i as u64)).gen();
+            let r = des.encrypt(PLAINTEXT, k).expect("random run");
+            acc.g1.push(r.trace.window(start..end).samples()).expect("aligned traces");
+        }
+        acc
+    });
+    let acc = merge_shards(accs, |a, b| {
+        a.merge(&b).expect("aligned shards");
+    })
+    .unwrap_or_default();
+    let t = acc.welch_t();
     let (at_cycle, max_t) =
         t.iter().enumerate().fold(
             (0, 0.0f64),
@@ -774,6 +877,33 @@ mod tests {
         assert!(masked.max_t < 4.5, "{masked}");
         assert_eq!(masked.leaky_cycles, 0, "{masked}");
         assert!(masked.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn parallel_dpa_experiment_recovers_and_ignores_job_count() {
+        let serial = dpa_attack_par(MaskPolicy::None, 1, 96, 0, Jobs::serial());
+        assert!(serial.recovered, "{serial}");
+        let par = dpa_attack_par(MaskPolicy::None, 1, 96, 0, Jobs::new(4).unwrap());
+        assert_eq!(par.result, serial.result, "jobs must not change the result");
+        assert_eq!(par.recovered, serial.recovered);
+    }
+
+    #[test]
+    fn parallel_cpa_experiment_recovers_and_ignores_job_count() {
+        let serial = cpa_attack_par(MaskPolicy::None, 1, 48, 0, Jobs::serial());
+        assert!(serial.recovered, "{serial}");
+        let par = cpa_attack_par(MaskPolicy::None, 1, 48, 0, Jobs::new(3).unwrap());
+        assert_eq!(par.result, serial.result, "jobs must not change the result");
+    }
+
+    #[test]
+    fn parallel_tvla_flags_unmasked_and_ignores_job_count() {
+        let serial = tvla_par(MaskPolicy::None, 1, 8, 5, Jobs::serial());
+        assert!(serial.max_t >= 4.5, "{serial}");
+        let par = tvla_par(MaskPolicy::None, 1, 8, 5, Jobs::new(4).unwrap());
+        assert_eq!(par.max_t.to_bits(), serial.max_t.to_bits(), "bit-identical t");
+        assert_eq!(par.at_cycle, serial.at_cycle);
+        assert_eq!(par.leaky_cycles, serial.leaky_cycles);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! | SPA/DPA | attacks defeated by masking | [`experiments::spa_rounds`], [`experiments::dpa_attack`] |
 //! | ablations | pre-charge, gating, slicing | [`experiments::ablations`] |
 //! | `fault` | robustness: fault campaign + dual-rail detection | [`campaign::run_campaign`] |
+//!
+//! The heavyweight campaigns ship `_par` variants
+//! ([`campaign::run_campaign_par`], [`experiments::dpa_attack_par`],
+//! [`experiments::cpa_attack_par`], [`experiments::tvla_par`]) that shard
+//! trials across an `emask-par` worker pool; their reports are
+//! bit-identical for any `--jobs` count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,10 +33,10 @@
 pub mod campaign;
 pub mod experiments;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, FaultOutcome};
+pub use campaign::{run_campaign, run_campaign_par, CampaignConfig, CampaignReport, FaultOutcome};
 pub use experiments::{
-    ablations, coupling_study, cpa_attack, dpa_attack, dpa_sample_sweep, energy_by_class,
-    fig6_round_trace, key_differential, masking_overhead_trace, plaintext_differential,
-    policy_totals, spa_rounds, tvla, xor_unit, AblationReport, ClassEnergy, CouplingReport,
-    CpaOutcome, DpaOutcome, PolicyTotals, SweepPoint, TvlaReport,
+    ablations, coupling_study, cpa_attack, cpa_attack_par, dpa_attack, dpa_attack_par,
+    dpa_sample_sweep, energy_by_class, fig6_round_trace, key_differential, masking_overhead_trace,
+    plaintext_differential, policy_totals, spa_rounds, tvla, tvla_par, xor_unit, AblationReport,
+    ClassEnergy, CouplingReport, CpaOutcome, DpaOutcome, PolicyTotals, SweepPoint, TvlaReport,
 };

@@ -404,6 +404,29 @@ impl MaskedDes {
         Ok((ciphertexts, trace))
     }
 
+    /// A shareable trace oracle for the attack suite: maps a plaintext to
+    /// the energy samples of `window` under the fixed `key`. The closure
+    /// borrows `self` immutably — and `MaskedDes` is `Sync` (all-owned
+    /// compiled state, no interior mutability) — so the same instance
+    /// drives the `_par` attack entry points from every worker thread
+    /// without cloning the compiled program.
+    ///
+    /// # Panics
+    ///
+    /// The returned closure panics if an encryption fails — a simulator
+    /// bug, not a data condition, and attack campaigns have no way to
+    /// use a partial trace set.
+    pub fn trace_oracle(
+        &self,
+        key: u64,
+        window: Range<usize>,
+    ) -> impl Fn(u64) -> Vec<f64> + Sync + '_ {
+        move |plaintext| {
+            let run = self.encrypt(plaintext, key).expect("oracle run");
+            run.trace.window(window.clone()).samples().to_vec()
+        }
+    }
+
     fn run_block(&self, input: u64, key: u64) -> Result<EncryptionRun, RunError> {
         self.run_block_full(input, key, &mut NullHook, &mut ())
     }
@@ -568,6 +591,31 @@ mod tests {
         let b = des.encrypt(u64::MAX, 0xFFFF_FFFF_0000_0000).expect("run");
         assert_eq!(a.trace.len(), b.trace.len());
         assert_eq!(a.stats.cycles, b.stats.cycles);
+    }
+
+    #[test]
+    fn masked_des_is_shareable_across_threads() {
+        // The parallel attack layer hands one `&MaskedDes` to every
+        // worker; this pins the auto-traits that makes that legal.
+        fn assert_sync_send_clone<T: Sync + Send + Clone>() {}
+        assert_sync_send_clone::<MaskedDes>();
+    }
+
+    #[test]
+    fn trace_oracle_reproduces_encrypt_windows() {
+        let des = two_rounds(MaskPolicy::None);
+        let run = des.encrypt(PLAIN, KEY).expect("run");
+        let window = run.phase_window(Phase::Round(1)).expect("round 1 window");
+        let oracle = des.trace_oracle(KEY, window.clone());
+        let direct = run.trace.window(window).samples().to_vec();
+        assert_eq!(oracle(PLAIN), direct);
+        assert!(!oracle(PLAIN).is_empty());
+        // And it is genuinely usable from multiple threads at once.
+        std::thread::scope(|s| {
+            let a = s.spawn(|| oracle(0));
+            let b = s.spawn(|| oracle(0));
+            assert_eq!(a.join().unwrap(), b.join().unwrap());
+        });
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub use export::{
     COMPONENT_COLUMNS,
 };
 pub use metrics::{
-    op_class_name, Histogram, MetricsRegistry, MetricsSnapshot, MixEntry, PhaseMetrics, OP_CLASSES,
+    op_class_name, Histogram, MergeError, MetricsRegistry, MetricsSnapshot, MixEntry, PhaseMetrics,
+    OP_CLASSES,
 };
 pub use observer::{PhaseEvent, RunObserver};

@@ -19,6 +19,8 @@
 //!   ([`emask_telemetry`]);
 //! * [`fault`] — fault injection and dual-rail integrity checking
 //!   ([`emask_fault`]);
+//! * [`par`] — the deterministic parallel execution layer
+//!   ([`emask_par`]);
 //! * [`core`] — the assembled end-to-end system ([`emask_core`]).
 //!
 //! ## Quickstart
@@ -55,6 +57,7 @@ pub use emask_des as des;
 pub use emask_energy as energy;
 pub use emask_fault as fault;
 pub use emask_isa as isa;
+pub use emask_par as par;
 pub use emask_telemetry as telemetry;
 
 pub use emask_core::{
