@@ -10,14 +10,18 @@
 //! EXPERIMENTS.md records the paper-vs-measured comparison.
 
 use emask_bench::campaign::{run_campaign_par, CampaignConfig, FaultOutcome};
+use emask_bench::checkpoint::run_campaign_resumable;
 use emask_bench::experiments::{self, KEY, PLAINTEXT};
+use emask_bench::CampaignReport;
 use emask_core::{
-    ChromeTrace, DesProgramSpec, EncryptionRun, EnergyTrace, MaskPolicy, MaskedDes, MetricsRegistry,
+    ChromeTrace, DesProgramSpec, EncryptionRun, EnergyTrace, MaskPolicy, MaskedDes,
+    MetricsRegistry, RecoveryPolicy,
 };
 use emask_par::Jobs;
 use emask_telemetry::{metrics_csv, summary};
 use std::env;
 use std::fs;
+use std::path::Path;
 use std::process::ExitCode;
 
 /// Every runnable experiment, as listed in `usage()`; `all` expands to the
@@ -53,6 +57,9 @@ struct Opts {
     fault_trials: usize,
     fault_bits: Vec<u8>,
     fault_out: Option<String>,
+    checkpoint: Option<String>,
+    resume: bool,
+    recover: bool,
     jobs: Jobs,
 }
 
@@ -69,6 +76,9 @@ fn main() -> ExitCode {
         fault_trials: 1000,
         fault_bits: CampaignConfig::default().bits,
         fault_out: None,
+        checkpoint: None,
+        resume: false,
+        recover: false,
         jobs: Jobs::serial(),
     };
     let mut it = args.iter();
@@ -111,6 +121,12 @@ fn main() -> ExitCode {
                 Some(path) => opts.fault_out = Some(path.clone()),
                 None => return usage("--fault-out needs a file path"),
             },
+            "--checkpoint" => match it.next() {
+                Some(path) => opts.checkpoint = Some(path.clone()),
+                None => return usage("--checkpoint needs a file path"),
+            },
+            "--resume" => opts.resume = true,
+            "--recover" => opts.recover = true,
             "--jobs" => match it.next().map(|v| Jobs::parse(v)) {
                 Some(Ok(jobs)) => opts.jobs = jobs,
                 Some(Err(e)) => return usage(&e),
@@ -135,6 +151,25 @@ fn main() -> ExitCode {
     }
     if cmds.iter().any(|c| c == "all") {
         cmds = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    if opts.resume && opts.checkpoint.is_none() {
+        return usage("--resume needs --checkpoint <path>");
+    }
+    if let Some(path) = &opts.checkpoint {
+        if !opts.resume && Path::new(path).exists() {
+            eprintln!(
+                "error: checkpoint {path} already exists; pass --resume to continue it \
+                 or delete the file to start over"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    // Probe every requested output path *before* any experiment runs, so
+    // a typo'd directory fails in milliseconds instead of erroring after
+    // minutes of simulation.
+    if let Err(e) = validate_out_paths(&opts) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
     }
     println!(
         "# emask repro — key {KEY:016X}, plaintext {PLAINTEXT:016X}, {} rounds\n",
@@ -196,7 +231,33 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("  --fault-trials number of faults the `fault` campaign injects (default 1000)");
     eprintln!("  --fault-bits  comma list of bit positions the campaign cycles through");
     eprintln!("  --fault-out   write the per-trial campaign CSV to this file");
+    eprintln!("  --recover     run fault trials under checkpoint/rollback recovery");
+    eprintln!("  --checkpoint  persist fault-campaign progress to this file after every shard");
+    eprintln!("  --resume      continue a killed campaign from its --checkpoint file");
     ExitCode::FAILURE
+}
+
+/// Verifies that every requested output file can actually be created,
+/// returning the flag and OS error of the first one that cannot. The
+/// probe is an append-mode open, so an existing file's content is left
+/// untouched.
+fn validate_out_paths(opts: &Opts) -> Result<(), String> {
+    let outputs = [
+        ("--trace-out", &opts.trace_out),
+        ("--metrics-out", &opts.metrics_out),
+        ("--fault-out", &opts.fault_out),
+        ("--checkpoint", &opts.checkpoint),
+    ];
+    for (flag, path) in outputs {
+        if let Some(path) = path {
+            fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("{flag} {path}: {e}"))?;
+        }
+    }
+    Ok(())
 }
 
 /// Runs one selectively-masked encryption with the telemetry observers
@@ -429,14 +490,18 @@ fn ablations(opts: &Opts) {
 
 /// The robustness experiment: a deterministic fault-injection campaign
 /// against the selectively-masked device, with the dual-rail checker
-/// armed, classifying every trial into the five outcome categories.
+/// armed, classifying every trial into one outcome category. With
+/// `--recover` the trials run under checkpoint/rollback recovery; with
+/// `--checkpoint` the campaign itself persists progress after every
+/// shard and `--resume` continues a killed run byte-identically.
 fn fault(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     println!(
-        "== Fault campaign: {} trials, bits {:?}, selective masking, {} rounds, {} jobs ==",
+        "== Fault campaign: {} trials, bits {:?}, selective masking, {} rounds, {} jobs{} ==",
         opts.fault_trials,
         opts.fault_bits,
         opts.rounds,
-        opts.jobs.get()
+        opts.jobs.get(),
+        if opts.recover { ", recovery on" } else { "" }
     );
     let des =
         MaskedDes::compile_spec(MaskPolicy::Selective, &DesProgramSpec { rounds: opts.rounds })?;
@@ -445,11 +510,18 @@ fn fault(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
         bits: opts.fault_bits.clone(),
         plaintext: PLAINTEXT,
         key: KEY,
+        recovery: opts.recover.then(RecoveryPolicy::default),
+        ..CampaignConfig::default()
     };
-    let report = run_campaign_par(&des, &cfg, opts.jobs)?;
+    let report: CampaignReport = match &opts.checkpoint {
+        Some(path) => run_campaign_resumable(&des, &cfg, opts.jobs, Path::new(path))?,
+        None => run_campaign_par(&des, &cfg, opts.jobs)?,
+    };
     println!("clean run: {} cycles; cycle budget per trial: 2x", report.clean_cycles);
     print!("{}", report.summary());
-    let detected = report.count(FaultOutcome::Detected);
+    let detected = report.count(FaultOutcome::Detected)
+        + report.count(FaultOutcome::Recovered)
+        + report.count(FaultOutcome::Zeroized);
     println!(
         "dual-rail checker detected {detected} of {} injected faults ({:.1}%)",
         report.total(),
@@ -458,6 +530,9 @@ fn fault(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = &opts.fault_out {
         fs::write(path, report.csv())?;
         println!("wrote per-trial campaign CSV to {path}");
+    }
+    if let Some(path) = &opts.checkpoint {
+        println!("campaign checkpoint saved to {path}");
     }
     Ok(())
 }

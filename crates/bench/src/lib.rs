@@ -31,9 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod experiments;
 
-pub use campaign::{run_campaign, run_campaign_par, CampaignConfig, CampaignReport, FaultOutcome};
+pub use campaign::{
+    run_campaign, run_campaign_par, CampaignConfig, CampaignReport, FaultOutcome, OUTCOME_COUNT,
+};
+pub use checkpoint::{run_campaign_resumable, CampaignCheckpoint, CampaignError};
 pub use experiments::{
     ablations, coupling_study, cpa_attack, cpa_attack_par, dpa_attack, dpa_attack_par,
     dpa_sample_sweep, energy_by_class, fig6_round_trace, key_differential, masking_overhead_trace,

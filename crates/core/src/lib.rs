@@ -35,8 +35,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 pub mod desgen;
+pub mod recovery;
 pub mod runner;
 pub mod xtea;
 
@@ -46,5 +48,6 @@ pub use emask_energy::{EnergyParams, EnergyTrace, SecureStyle};
 pub use emask_telemetry::{
     ChromeTrace, CycleCsv, MetricsRegistry, MetricsSnapshot, PhaseEvent, RunObserver,
 };
-pub use runner::{EncryptionRun, MaskedDes, Phase, PhaseMarker, RunError};
+pub use recovery::{CheckpointCadence, RecoveryPolicy, RecoveryStats};
+pub use runner::{EncryptionRun, MaskedDes, Phase, PhaseMarker, RecoveredRun, RunError};
 pub use xtea::{xtea_decrypt, xtea_encrypt, MaskedXtea, XteaRun};

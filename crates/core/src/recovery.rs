@@ -1,0 +1,161 @@
+//! Checkpoint/rollback recovery policy for masked-DES runs.
+//!
+//! The paper's smart-card setting pairs power-analysis masking with the
+//! sibling threat of *fault* attacks: an adversary glitches the core and
+//! reads secrets out of the wrong ciphertext (Biham–Shamir differential
+//! fault analysis). PR 2 added the attacker side — fault injection plus
+//! dual-rail detection — but detection alone just kills the run. This
+//! module closes the loop from **detection to tolerance**:
+//!
+//! * the core takes an architectural checkpoint
+//!   ([`emask_cpu::CpuCheckpoint`]) at a configurable cadence
+//!   ([`CheckpointCadence`]);
+//! * on a detected fault (dual-rail violation, memory fault, divide by
+//!   zero, runaway PC) the run rolls back to the last checkpoint and
+//!   re-executes — a transient fault has already been spent, so the replay
+//!   is clean and the run completes with a bit-identical result;
+//! * a *persistent* fault re-fires on every replay; after
+//!   [`RecoveryPolicy::max_retries`] rollbacks the runner **zeroizes** the
+//!   key material ([`zeroize_secrets`]) and aborts with
+//!   [`crate::RunError::Zeroized`] — the standard smart-card response to
+//!   an attack in progress (key destruction beats key disclosure).
+//!
+//! The entry point is [`crate::MaskedDes::encrypt_recovered`].
+
+use emask_cpu::{Cpu, CpuErrorKind};
+use emask_isa::Reg;
+
+/// When the recovery runner takes a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointCadence {
+    /// Every `n` retired instructions (rounded up to the cycle at which
+    /// the threshold is crossed). Smaller `n` means cheaper re-execution
+    /// but more checkpoint overhead.
+    Retired(u64),
+    /// At every DES phase marker (initial permutation, each round, output
+    /// permutation) — the natural algorithmic boundary: a detected fault
+    /// re-executes at most one round.
+    PhaseMarkers,
+}
+
+/// How a run responds to detected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Checkpoint cadence.
+    pub cadence: CheckpointCadence,
+    /// Total rollback budget for the whole run. A transient fault needs
+    /// exactly one; a persistent fault burns the budget and triggers
+    /// zeroization.
+    pub max_retries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    /// Round-boundary checkpoints with a small retry budget — one round of
+    /// re-execution per transient, zeroize after 8 strikes.
+    fn default() -> Self {
+        Self { cadence: CheckpointCadence::PhaseMarkers, max_retries: 8 }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Checkpoint every `n` retired instructions instead of at phase
+    /// markers.
+    #[must_use]
+    pub fn every_retired(n: u64) -> Self {
+        Self { cadence: CheckpointCadence::Retired(n), ..Self::default() }
+    }
+
+    /// Replaces the rollback budget.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+}
+
+/// What recovery did during one run — attached to the result so campaigns
+/// can report detection→recovery coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Checkpoints taken (excluding the implicit one at cycle 0).
+    pub checkpoints: u64,
+    /// Rollback/re-execute events. Zero means the run was clean end to
+    /// end; nonzero on a successful run means the fault was *recovered*.
+    pub rollbacks: u32,
+    /// Total dirty pages moved by checkpoint refreshes and restores — the
+    /// measurable cost of the incremental memory scheme.
+    pub pages_moved: u64,
+}
+
+/// Whether a fault of this kind is a candidate for rollback recovery.
+///
+/// Everything the architecture can *detect mid-run* is recoverable:
+/// dual-rail violations (the paper's integrity signature), memory faults,
+/// divide-by-zero, and a runaway PC. [`CpuErrorKind::CycleLimit`] is not —
+/// the budget bounds total work including re-execution, so retrying a
+/// timeout would retry forever.
+#[must_use]
+pub fn recoverable(kind: CpuErrorKind) -> bool {
+    !matches!(kind, CpuErrorKind::CycleLimit { .. })
+}
+
+/// Destroys the key material in a compromised core: zeroes the 64-word
+/// bit-per-word key array at `key_addr` and the entire register file.
+/// Called when the rollback budget is exhausted, before the runner aborts
+/// with [`crate::RunError::Zeroized`] — a persistent fault means an attack
+/// in progress, and key destruction beats key disclosure.
+pub fn zeroize_secrets(cpu: &mut Cpu, key_addr: u32) {
+    for i in 0..64u32 {
+        // The key array was poked through the same addresses at setup, so
+        // these stores cannot fail; ignore errors anyway — zeroization
+        // must never abort halfway.
+        let _ = cpu.memory_mut().store(key_addr + 4 * i, 0);
+    }
+    for r in Reg::ALL {
+        cpu.set_reg(r, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emask_cpu::memory::AccessError;
+    use emask_cpu::Bus;
+    use emask_isa::assemble;
+
+    #[test]
+    fn recoverable_kinds_exclude_only_cycle_limit() {
+        assert!(recoverable(CpuErrorKind::DualRailViolation { bus: Bus::OperandA, agreeing: 1 }));
+        assert!(recoverable(CpuErrorKind::Memory(AccessError::Unaligned { addr: 2 })));
+        assert!(recoverable(CpuErrorKind::DivideByZero));
+        assert!(recoverable(CpuErrorKind::PcOutOfRange { pc: 9 }));
+        assert!(!recoverable(CpuErrorKind::CycleLimit { limit: 10 }));
+    }
+
+    #[test]
+    fn zeroize_clears_key_words_and_registers() {
+        let p = assemble(".data\nkey: .space 256\n.text\n halt\n").expect("asm");
+        let mut cpu = Cpu::new(&p);
+        let key_addr = p.data_addr("key");
+        for i in 0..64u32 {
+            cpu.memory_mut().store(key_addr + 4 * i, 1).expect("store");
+        }
+        cpu.set_reg(Reg::T0, 0xDEAD_BEEF);
+        zeroize_secrets(&mut cpu, key_addr);
+        for i in 0..64u32 {
+            assert_eq!(cpu.memory().load(key_addr + 4 * i).expect("load"), 0);
+        }
+        for r in Reg::ALL {
+            assert_eq!(cpu.reg(r), 0, "{r}");
+        }
+    }
+
+    #[test]
+    fn policy_builders() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.cadence, CheckpointCadence::PhaseMarkers);
+        let q = RecoveryPolicy::every_retired(100).with_max_retries(2);
+        assert_eq!(q.cadence, CheckpointCadence::Retired(100));
+        assert_eq!(q.max_retries, 2);
+    }
+}

@@ -4,9 +4,12 @@ use crate::desgen::{
     des_source_with, DesProgramSpec, MARKER_INITIAL_PERM, MARKER_KEY_PERM, MARKER_OUTPUT_PERM,
     MARKER_ROUND,
 };
+use crate::recovery::{
+    recoverable, zeroize_secrets, CheckpointCadence, RecoveryPolicy, RecoveryStats,
+};
 use emask_cc::{compile, CompileError, CompileOptions, MaskPolicy, SliceReport};
 use emask_cpu::memory::AccessError;
-use emask_cpu::{Cpu, CpuError, NullHook, PipelineHook, RunResult};
+use emask_cpu::{Cpu, CpuCheckpoint, CpuError, CpuErrorKind, NullHook, PipelineHook, RunResult};
 use emask_des::bitarray::BitArrayState;
 use emask_des::bits::{from_bit_vec, to_bit_vec};
 use emask_energy::{EnergyModel, EnergyParams, EnergyTrace};
@@ -117,6 +120,16 @@ pub enum RunError {
         /// The underlying access fault.
         source: AccessError,
     },
+    /// Recovery exhausted its rollback budget on a persistent fault: the
+    /// key material was destroyed ([`crate::recovery::zeroize_secrets`])
+    /// and the run aborted. The smart-card response to an attack in
+    /// progress — key destruction beats key disclosure.
+    Zeroized {
+        /// Rollbacks spent before giving up.
+        rollbacks: u32,
+        /// The detection that exhausted the budget.
+        last: CpuError,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -135,6 +148,9 @@ impl fmt::Display for RunError {
             }
             RunError::ImageAccess { name, index, source } => {
                 write!(f, "accessing `{name}[{index}]`: {source}")
+            }
+            RunError::Zeroized { rollbacks, last } => {
+                write!(f, "key zeroized after {rollbacks} rollbacks; last detection: {last}")
             }
         }
     }
@@ -496,8 +512,13 @@ impl MaskedDes {
             trace.push(energy);
         })?;
         obs.on_finish(&stats);
+        let ciphertext = self.read_validated_output(&cpu, plaintext, key)?;
+        Ok(EncryptionRun { ciphertext, trace, stats, markers })
+    }
 
-        // Read the ciphertext back and validate against the golden model.
+    /// Reads the 64-word ciphertext array back from a halted machine and
+    /// validates it against the golden model.
+    fn read_validated_output(&self, cpu: &Cpu, input: u64, key: u64) -> Result<u64, RunError> {
         let out_addr = self.data_sym("output")?;
         let mut bits = [0u8; 64];
         for (i, bit) in bits.iter_mut().enumerate() {
@@ -513,15 +534,145 @@ impl MaskedDes {
         }
         let ciphertext = from_bit_vec(&bits);
         let expected = if self.decryptor {
-            emask_des::Des::new(key).decrypt_block(plaintext)
+            emask_des::Des::new(key).decrypt_block(input)
         } else {
-            golden(plaintext, key, self.spec.rounds)
+            golden(input, key, self.spec.rounds)
         };
         if ciphertext != expected {
             return Err(RunError::Mismatch { simulated: ciphertext, expected });
         }
-        Ok(EncryptionRun { ciphertext, trace, stats, markers })
+        Ok(ciphertext)
     }
+
+    /// [`MaskedDes::encrypt_hooked`] with checkpoint/rollback **recovery**:
+    /// the run takes architectural checkpoints at the policy's cadence, and
+    /// a fault the core *detects* (dual-rail violation, memory fault,
+    /// divide-by-zero, runaway PC) rolls the machine back to the last
+    /// checkpoint and re-executes instead of aborting.
+    ///
+    /// A transient fault (the usual glitch model) has already fired when
+    /// the replay starts, so the replay is clean: the run completes with a
+    /// ciphertext, retired-instruction stream, and energy trace
+    /// **bit-identical to a fault-free run** — rolled-back cycles are
+    /// truncated from the trace and the energy model's transition state is
+    /// restored along with the machine. A persistent fault re-fires on
+    /// every replay; after [`RecoveryPolicy::max_retries`] rollbacks the
+    /// key material is zeroized and the run aborts with
+    /// [`RunError::Zeroized`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`MaskedDes::encrypt_hooked`], plus [`RunError::Zeroized`]
+    /// on budget exhaustion. [`emask_cpu::CpuErrorKind::CycleLimit`] is
+    /// never retried: the cycle budget bounds *total* work including
+    /// re-execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this instance is a decryptor.
+    pub fn encrypt_recovered<H: PipelineHook>(
+        &self,
+        plaintext: u64,
+        key: u64,
+        hook: &mut H,
+        policy: &RecoveryPolicy,
+    ) -> Result<RecoveredRun, RunError> {
+        assert!(!self.decryptor, "this instance was compiled as a decryptor; use decrypt()");
+        let mut cpu = Cpu::new(&self.program);
+        let key_addr = self.data_sym("key")?;
+        let data_addr = self.data_sym("data")?;
+        let marker_addr = self.data_sym("marker")?;
+        let poke = |cpu: &mut Cpu, name: &str, base: u32, value: u64| {
+            for (i, b) in to_bit_vec(value).iter().enumerate() {
+                cpu.memory_mut().store(base + 4 * i as u32, u32::from(*b)).map_err(|source| {
+                    RunError::ImageAccess { name: name.to_string(), index: i, source }
+                })?;
+            }
+            Ok::<(), RunError>(())
+        };
+        poke(&mut cpu, "key", key_addr, key)?;
+        poke(&mut cpu, "data", data_addr, plaintext)?;
+
+        let mut model = EnergyModel::with_params(self.params);
+        let mut trace = EnergyTrace::new();
+        let mut markers: Vec<PhaseMarker> = Vec::new();
+        // The implicit cycle-0 checkpoint plus the state that must rewind
+        // with it: the energy model (transition-sensitive bus state) and
+        // the marker list.
+        let mut cp = CpuCheckpoint::capture(&mut cpu);
+        let mut cp_model = model.clone();
+        let mut cp_marker_len = 0usize;
+        let mut recovery = RecoveryStats::default();
+        // Steps actually executed, *including* re-executed windows. The
+        // architectural cycle counter rolls back with the checkpoint, so
+        // the budget is enforced on this monotone counter instead.
+        let mut executed: u64 = 0;
+
+        while !cpu.is_halted() {
+            if executed >= self.cycle_limit {
+                return Err(RunError::Cpu(CpuError {
+                    cycle: cpu.cycles(),
+                    kind: CpuErrorKind::CycleLimit { limit: self.cycle_limit },
+                }));
+            }
+            executed += 1;
+            match cpu.step_hooked(hook) {
+                Ok(act) => {
+                    let energy = model.observe(&act);
+                    let mut marker_this_cycle = false;
+                    if let Some(mem) = act.mem {
+                        if mem.is_store && mem.addr == marker_addr {
+                            if let Some(phase) = phase_of_marker(mem.data) {
+                                markers.push(PhaseMarker { phase, cycle: act.cycle });
+                                marker_this_cycle = true;
+                            }
+                        }
+                    }
+                    trace.push(energy);
+                    let boundary = match policy.cadence {
+                        CheckpointCadence::Retired(n) => {
+                            n > 0 && cpu.stats().retired - cp.retired() >= n
+                        }
+                        CheckpointCadence::PhaseMarkers => marker_this_cycle,
+                    };
+                    if boundary {
+                        cp.refresh(&mut cpu);
+                        cp_model = model.clone();
+                        cp_marker_len = markers.len();
+                        recovery.checkpoints += 1;
+                        recovery.pages_moved += cp.pages_moved() as u64;
+                    }
+                }
+                Err(e) if recoverable(e.kind) => {
+                    if recovery.rollbacks >= policy.max_retries {
+                        zeroize_secrets(&mut cpu, key_addr);
+                        return Err(RunError::Zeroized { rollbacks: recovery.rollbacks, last: e });
+                    }
+                    recovery.rollbacks += 1;
+                    cp.restore(&mut cpu);
+                    recovery.pages_moved += cp.pages_moved() as u64;
+                    model = cp_model.clone();
+                    trace.truncate(cp.cycle() as usize);
+                    markers.truncate(cp_marker_len);
+                }
+                Err(e) => return Err(RunError::Cpu(e)),
+            }
+        }
+        let stats = cpu.stats();
+        let ciphertext = self.read_validated_output(&cpu, plaintext, key)?;
+        Ok(RecoveredRun { run: EncryptionRun { ciphertext, trace, stats, markers }, recovery })
+    }
+}
+
+/// An [`EncryptionRun`] that executed under a [`RecoveryPolicy`], with the
+/// recovery bookkeeping attached.
+#[derive(Debug, Clone)]
+pub struct RecoveredRun {
+    /// The measured run — bit-identical to a fault-free run when every
+    /// fault was recovered.
+    pub run: EncryptionRun,
+    /// Checkpoints taken, rollbacks spent, pages moved.
+    pub recovery: RecoveryStats,
 }
 
 /// The golden-model reference for `rounds`-round DES.
@@ -614,7 +765,7 @@ mod tests {
         std::thread::scope(|s| {
             let a = s.spawn(|| oracle(0));
             let b = s.spawn(|| oracle(0));
-            assert_eq!(a.join().unwrap(), b.join().unwrap());
+            assert_eq!(a.join().expect("thread a"), b.join().expect("thread b"));
         });
     }
 
@@ -641,10 +792,10 @@ mod tests {
     fn phase_windows_partition_the_run() {
         let des = two_rounds(MaskPolicy::None);
         let run = des.encrypt(PLAIN, KEY).expect("run");
-        let w1 = run.phase_window(Phase::Round(1)).unwrap();
-        let w2 = run.phase_window(Phase::Round(2)).unwrap();
+        let w1 = run.phase_window(Phase::Round(1)).expect("round 1 window");
+        let w2 = run.phase_window(Phase::Round(2)).expect("round 2 window");
         assert_eq!(w1.end, w2.start);
-        assert!(run.phase_trace(Phase::Round(1)).unwrap().total_pj() > 0.0);
+        assert!(run.phase_trace(Phase::Round(1)).expect("round 1 trace").total_pj() > 0.0);
         assert!(run.phase_window(Phase::Round(3)).is_none());
     }
 
@@ -676,7 +827,7 @@ mod tests {
     fn last_phase_window_extends_to_trace_end() {
         let des = two_rounds(MaskPolicy::None);
         let run = des.encrypt(PLAIN, KEY).expect("run");
-        let w = run.phase_window(Phase::OutputPermutation).unwrap();
+        let w = run.phase_window(Phase::OutputPermutation).expect("output window");
         assert_eq!(w.end, run.trace.len());
         // A marker sitting past the recorded trace must not panic the
         // window slice; exercise via a hand-built run.
@@ -686,7 +837,7 @@ mod tests {
             stats: Default::default(),
             markers: vec![PhaseMarker { phase: Phase::Round(1), cycle: 1 }],
         };
-        assert_eq!(tiny.phase_trace(Phase::Round(1)).unwrap().samples(), &[2.0]);
+        assert_eq!(tiny.phase_trace(Phase::Round(1)).expect("round 1 trace").samples(), &[2.0]);
     }
 
     #[test]
@@ -757,7 +908,7 @@ mod tests {
         assert!(diff.max_abs() > 1.0);
         // ...but none in the secure rounds' key-generation region: check
         // the full key permutation window is clean.
-        let w = a.phase_window(Phase::KeyPermutation).unwrap();
+        let w = a.phase_window(Phase::KeyPermutation).expect("key perm window");
         let kp = diff.window(w);
         assert!(kp.max_abs() < 1e-9, "key permutation leaked plaintext: {}", kp.max_abs());
     }
@@ -805,6 +956,126 @@ mod tests {
         let _ = des.decrypt(0, 0);
     }
 
+    /// A one-shot transient: corrupts a register at `at_cycle` and reports
+    /// a dual-rail detection the same cycle — the recover-once scenario.
+    struct TransientFault {
+        at_cycle: u64,
+        fired: bool,
+    }
+
+    impl PipelineHook for TransientFault {
+        fn before_cycle(&mut self, ctx: &mut emask_cpu::HookCtx<'_>) {
+            if !self.fired && ctx.cycle() == self.at_cycle {
+                ctx.flip_reg(9, 0xFFFF);
+            }
+        }
+        fn after_cycle(&mut self, act: &emask_cpu::CycleActivity) -> Result<(), CpuErrorKind> {
+            if !self.fired && act.cycle == self.at_cycle {
+                self.fired = true;
+                return Err(CpuErrorKind::DualRailViolation {
+                    bus: emask_cpu::Bus::OperandA,
+                    agreeing: 0xFFFF,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    /// A persistent (stuck-at) detection: fires at every cycle at or past
+    /// `from_cycle`, so every replay detects again.
+    struct PersistentFault {
+        from_cycle: u64,
+    }
+
+    impl PipelineHook for PersistentFault {
+        fn after_cycle(&mut self, act: &emask_cpu::CycleActivity) -> Result<(), CpuErrorKind> {
+            if act.cycle >= self.from_cycle {
+                return Err(CpuErrorKind::DualRailViolation {
+                    bus: emask_cpu::Bus::Memory,
+                    agreeing: 1,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn clean_run_under_recovery_matches_plain_encrypt() {
+        let des = two_rounds(MaskPolicy::Selective);
+        let clean = des.encrypt(PLAIN, KEY).expect("clean run");
+        for policy in [RecoveryPolicy::default(), RecoveryPolicy::every_retired(200)] {
+            let rec =
+                des.encrypt_recovered(PLAIN, KEY, &mut NullHook, &policy).expect("recovered run");
+            assert_eq!(rec.run.ciphertext, clean.ciphertext);
+            assert_eq!(rec.run.trace, clean.trace, "trace must be bit-identical");
+            assert_eq!(rec.run.stats, clean.stats);
+            assert_eq!(rec.run.markers, clean.markers);
+            assert_eq!(rec.recovery.rollbacks, 0);
+            assert!(rec.recovery.checkpoints > 0, "cadence must have fired");
+        }
+    }
+
+    #[test]
+    fn transient_fault_is_recovered_transparently() {
+        let des = two_rounds(MaskPolicy::Selective);
+        let clean = des.encrypt(PLAIN, KEY).expect("clean run");
+        let at_cycle = clean.stats.cycles / 2;
+        // Without recovery the same hook kills the run.
+        let mut hook = TransientFault { at_cycle, fired: false };
+        let err = des.encrypt_hooked(PLAIN, KEY, &mut hook).expect_err("detected");
+        assert!(matches!(
+            err,
+            RunError::Cpu(CpuError { kind: CpuErrorKind::DualRailViolation { .. }, .. })
+        ));
+        // With recovery the run completes bit-identically to a clean one:
+        // same ciphertext, same retired-instruction counts, same energy
+        // trace — checkpoint/rollback is transparent.
+        for policy in [RecoveryPolicy::default(), RecoveryPolicy::every_retired(300)] {
+            let mut hook = TransientFault { at_cycle, fired: false };
+            let rec = des.encrypt_recovered(PLAIN, KEY, &mut hook, &policy).expect("recovered run");
+            assert_eq!(rec.recovery.rollbacks, 1, "exactly one rollback");
+            assert_eq!(rec.run.ciphertext, clean.ciphertext);
+            assert_eq!(rec.run.stats, clean.stats, "retired stream must match");
+            assert_eq!(rec.run.markers, clean.markers);
+            assert_eq!(
+                rec.run.trace, clean.trace,
+                "energy trace must be bit-identical after rollback"
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_fault_exhausts_budget_and_zeroizes() {
+        let des = two_rounds(MaskPolicy::Selective);
+        let clean_cycles = des.encrypt(PLAIN, KEY).expect("clean run").stats.cycles;
+        let mut hook = PersistentFault { from_cycle: clean_cycles / 2 };
+        let policy = RecoveryPolicy::default().with_max_retries(3);
+        let err =
+            des.encrypt_recovered(PLAIN, KEY, &mut hook, &policy).expect_err("budget exhausted");
+        match err {
+            RunError::Zeroized { rollbacks, last } => {
+                assert_eq!(rollbacks, 3);
+                assert!(matches!(last.kind, CpuErrorKind::DualRailViolation { .. }));
+            }
+            other => panic!("expected Zeroized, got {other:?}"),
+        }
+        assert!(err.to_string().contains("zeroized after 3 rollbacks"));
+    }
+
+    #[test]
+    fn cycle_limit_is_never_retried() {
+        // The budget bounds total work including re-execution: a run that
+        // exceeds it surfaces CycleLimit even under recovery.
+        let des = two_rounds(MaskPolicy::None).with_cycle_limit(100);
+        let err = des
+            .encrypt_recovered(PLAIN, KEY, &mut NullHook, &RecoveryPolicy::default())
+            .expect_err("tiny budget");
+        assert!(matches!(
+            err,
+            RunError::Cpu(CpuError { kind: CpuErrorKind::CycleLimit { limit: 100 }, .. })
+        ));
+    }
+
     #[test]
     fn mismatch_error_is_loud() {
         // Corrupt the round-1 rotation amount (1 -> 0): K1 changes for
@@ -814,7 +1085,7 @@ mod tests {
         let addr = des.program.data_addr("shifts");
         let word = ((addr - emask_isa::program::DATA_BASE) / 4) as usize;
         des.program.data[word] ^= 1;
-        let err = des.encrypt(PLAIN, KEY).unwrap_err();
+        let err = des.encrypt(PLAIN, KEY).expect_err("corrupted shifts");
         assert!(matches!(err, RunError::Mismatch { .. }));
         assert!(err.to_string().contains("mismatch"));
     }

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod checkpoint;
 pub mod hook;
 pub mod interp;
 pub mod memory;
@@ -51,6 +52,7 @@ pub mod pipeline;
 pub mod regfile;
 
 pub use activity::{BusSample, CycleActivity, ExActivity, MemActivity};
+pub use checkpoint::CpuCheckpoint;
 pub use hook::{FaultLane, HookCtx, LaneView, NullHook, PipelineHook, RailMode};
 pub use interp::Interpreter;
 pub use memory::DataMemory;

@@ -32,11 +32,33 @@ impl fmt::Display for AccessError {
 
 impl std::error::Error for AccessError {}
 
+/// Words per dirty-tracking page: 64 words = 256 bytes. Small enough that
+/// a DES run's working set dirties only a handful of pages between
+/// checkpoints, large enough that the bitmap stays a few machine words.
+pub const PAGE_WORDS: usize = 64;
+
 /// Byte-addressed RAM with word (32-bit) access granularity, matching the
 /// word-oriented load/store ISA.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Every mutating access also marks the containing [`PAGE_WORDS`]-word
+/// page *dirty*. The checkpoint layer uses the dirty set to snapshot and
+/// roll back only the pages a run actually touched, instead of copying the
+/// whole RAM at every checkpoint boundary.
+#[derive(Debug, Clone, Eq)]
 pub struct DataMemory {
     words: Vec<u32>,
+    /// One bit per page, set by [`DataMemory::store`] /
+    /// [`DataMemory::load_image`], cleared by
+    /// [`DataMemory::clear_dirty`].
+    dirty: Vec<u64>,
+}
+
+/// Equality compares contents only: the dirty set is checkpoint
+/// bookkeeping, not architectural state.
+impl PartialEq for DataMemory {
+    fn eq(&self, other: &Self) -> bool {
+        self.words == other.words
+    }
 }
 
 impl DataMemory {
@@ -47,7 +69,9 @@ impl DataMemory {
     /// Panics if `size` is not a multiple of 4.
     pub fn new(size: u32) -> Self {
         assert_eq!(size % 4, 0, "memory size must be word-aligned");
-        Self { words: vec![0; (size / 4) as usize] }
+        let words = vec![0; (size / 4) as usize];
+        let pages = words.len().div_ceil(PAGE_WORDS);
+        Self { words, dirty: vec![0; pages.div_ceil(64)] }
     }
 
     /// Memory size in bytes.
@@ -72,6 +96,7 @@ impl DataMemory {
     pub fn store(&mut self, addr: u32, value: u32) -> Result<(), AccessError> {
         let i = self.index(addr)?;
         self.words[i] = value;
+        self.mark_dirty(i / PAGE_WORDS);
         Ok(())
     }
 
@@ -91,6 +116,9 @@ impl DataMemory {
             image.len()
         );
         self.words[start..end].copy_from_slice(image);
+        for page in (start / PAGE_WORDS)..=(end.saturating_sub(1) / PAGE_WORDS) {
+            self.mark_dirty(page);
+        }
     }
 
     /// Reads `len` consecutive words starting at byte address `base`.
@@ -102,6 +130,45 @@ impl DataMemory {
         assert_eq!(base % 4, 0);
         let start = (base / 4) as usize;
         self.words[start..start + len].to_vec()
+    }
+
+    /// Indices of every page dirtied since the last
+    /// [`DataMemory::clear_dirty`], in ascending order.
+    pub fn dirty_pages(&self) -> Vec<usize> {
+        let mut pages = Vec::new();
+        for (w, &bits) in self.dirty.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                pages.push(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        pages
+    }
+
+    /// Forgets all dirty-page marks (a checkpoint boundary).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.fill(0);
+    }
+
+    /// Copies page `page` of `from` into `self`. Both memories must be the
+    /// same size; used by the checkpoint layer to sync or roll back only
+    /// the pages a run touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memories differ in size or `page` is out of range.
+    pub fn copy_page_from(&mut self, from: &DataMemory, page: usize) {
+        assert_eq!(self.words.len(), from.words.len(), "page copy between unequal memories");
+        let start = page * PAGE_WORDS;
+        let end = (start + PAGE_WORDS).min(self.words.len());
+        assert!(start < self.words.len(), "page {page} out of range");
+        self.words[start..end].copy_from_slice(&from.words[start..end]);
+    }
+
+    fn mark_dirty(&mut self, page: usize) {
+        self.dirty[page / 64] |= 1 << (page % 64);
     }
 
     fn index(&self, addr: u32) -> Result<usize, AccessError> {
@@ -163,6 +230,79 @@ mod tests {
     fn error_messages_are_informative() {
         assert!(AccessError::Unaligned { addr: 2 }.to_string().contains("0x00000002"));
         assert!(AccessError::OutOfBounds { addr: 64, size: 64 }.to_string().contains("64-byte"));
+    }
+
+    #[test]
+    fn stores_mark_pages_dirty_and_clear_resets() {
+        let mut m = DataMemory::new((PAGE_WORDS as u32) * 4 * 4); // 4 pages
+        assert!(m.dirty_pages().is_empty() || !m.dirty_pages().is_empty()); // fresh state below
+        m.clear_dirty();
+        assert!(m.dirty_pages().is_empty());
+        m.store(0, 1).unwrap(); // page 0
+        m.store((PAGE_WORDS as u32) * 4 * 2 + 8, 2).unwrap(); // page 2
+        assert_eq!(m.dirty_pages(), vec![0, 2]);
+        // Loads never mark.
+        m.clear_dirty();
+        let _ = m.load(0).unwrap();
+        let _ = m.load((PAGE_WORDS as u32) * 4 * 3).unwrap();
+        assert!(m.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn image_load_marks_covered_page_range() {
+        let page_bytes = (PAGE_WORDS as u32) * 4;
+        let mut m = DataMemory::new(page_bytes * 4);
+        m.clear_dirty();
+        // An image straddling pages 1..=2.
+        m.load_image(page_bytes + (PAGE_WORDS as u32 - 2) * 4, &[7; 4]);
+        assert_eq!(m.dirty_pages(), vec![1, 2]);
+    }
+
+    #[test]
+    fn failed_store_does_not_mark_dirty() {
+        let mut m = DataMemory::new(64);
+        m.clear_dirty();
+        assert!(m.store(7, 1).is_err());
+        assert!(m.store(1 << 20, 1).is_err());
+        assert!(m.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn page_copy_rolls_back_only_the_requested_page() {
+        let page_bytes = (PAGE_WORDS as u32) * 4;
+        let mut shadow = DataMemory::new(page_bytes * 2);
+        let mut live = shadow.clone();
+        live.store(0, 0xAAAA).unwrap(); // page 0
+        live.store(page_bytes, 0xBBBB).unwrap(); // page 1
+        live.copy_page_from(&shadow, 0);
+        assert_eq!(live.load(0).unwrap(), 0, "page 0 restored");
+        assert_eq!(live.load(page_bytes).unwrap(), 0xBBBB, "page 1 untouched");
+        shadow.copy_page_from(&live, 1);
+        assert_eq!(shadow.load(page_bytes).unwrap(), 0xBBBB);
+    }
+
+    #[test]
+    fn last_partial_page_is_tracked_and_copyable() {
+        // 6 words: one full 64-word page would not exist; everything lives
+        // in a single short page 0 — and for a memory of PAGE_WORDS + 2
+        // words, page 1 is a 2-word stub.
+        let mut m = DataMemory::new(((PAGE_WORDS as u32) + 2) * 4);
+        m.clear_dirty();
+        let last = (PAGE_WORDS as u32 + 1) * 4;
+        m.store(last, 99).unwrap();
+        assert_eq!(m.dirty_pages(), vec![1]);
+        let shadow = DataMemory::new(((PAGE_WORDS as u32) + 2) * 4);
+        m.copy_page_from(&shadow, 1);
+        assert_eq!(m.load(last).unwrap(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_dirty_bookkeeping() {
+        let mut a = DataMemory::new(64);
+        let b = DataMemory::new(64);
+        a.store(0, 5).unwrap();
+        a.store(0, 0).unwrap(); // contents equal again, dirty set differs
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -153,13 +153,13 @@ const BUBBLE: Instruction = Instruction {
 /// [`Cpu::run_with`] (stream records to a callback).
 #[derive(Debug, Clone)]
 pub struct Cpu {
-    text: Vec<Instruction>,
+    pub(crate) text: Vec<Instruction>,
     pub(crate) regs: RegisterFile,
     pub(crate) mem: DataMemory,
     pub(crate) pc: u32,
     pub(crate) cycle: u64,
-    halted: bool,
-    fetch_enabled: bool,
+    pub(crate) halted: bool,
+    pub(crate) fetch_enabled: bool,
     pub(crate) if_id: IfId,
     pub(crate) id_ex: IdEx,
     pub(crate) ex_mem: ExMem,
@@ -235,6 +235,14 @@ impl Cpu {
     /// Cycles elapsed so far.
     pub fn cycles(&self) -> u64 {
         self.cycle
+    }
+
+    /// Statistics accumulated so far — the same [`RunResult`] a completed
+    /// [`Cpu::run`] returns. Callers driving [`Cpu::step`] /
+    /// [`Cpu::step_hooked`] manually (e.g. a checkpointing recovery loop)
+    /// read the final counts here after `halt` retires.
+    pub fn stats(&self) -> RunResult {
+        self.stats
     }
 
     /// Runs to completion, discarding activity records.

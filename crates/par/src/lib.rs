@@ -28,9 +28,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
+use std::any::Any;
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
@@ -130,19 +133,29 @@ pub fn shard_ranges(n: usize) -> Vec<Range<usize>> {
 /// range into whatever accumulator it likes; because the shard layout is a
 /// pure function of `n` (see [`shard_ranges`]) and results are re-ordered
 /// by shard index before being returned, the output is identical for any
-/// `jobs` value. A worker panic is propagated to the caller.
+/// `jobs` value.
+///
+/// A worker panic is **isolated per shard**: every other shard still runs
+/// to completion, and only then is the panic re-raised — always the one
+/// from the lowest-indexed panicking shard, so the surfaced panic is
+/// independent of scheduling and worker count. Campaigns that must survive
+/// a panicking trial should wrap the trial body in [`catch_trial`] (or use
+/// [`par_map_caught`]) so the panic becomes a typed [`TrialPanic`] result
+/// instead of reaching this propagation path at all.
 pub fn run_sharded<A, F>(jobs: Jobs, n: usize, worker: F) -> Vec<A>
 where
     A: Send,
     F: Fn(usize, Range<usize>) -> A + Sync,
 {
+    /// A shard's accumulator, or the payload of the panic that killed it.
+    type ShardOutcome<A> = Result<A, Box<dyn Any + Send>>;
     let ranges = shard_ranges(n);
     if jobs.get() <= 1 || ranges.len() <= 1 {
         return ranges.into_iter().enumerate().map(|(s, r)| worker(s, r)).collect();
     }
     let threads = jobs.get().min(ranges.len());
     let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, A)> = thread::scope(|scope| {
+    let mut tagged: Vec<(usize, ShardOutcome<A>)> = thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
@@ -150,7 +163,11 @@ where
                     loop {
                         let s = next.fetch_add(1, Ordering::Relaxed);
                         let Some(range) = ranges.get(s) else { break };
-                        local.push((s, worker(s, range.clone())));
+                        // Catch per shard: a panicking shard must not take
+                        // down its worker thread (and with it every other
+                        // shard queued on that thread).
+                        let result = catch_unwind(AssertUnwindSafe(|| worker(s, range.clone())));
+                        local.push((s, result));
                     }
                     local
                 })
@@ -160,12 +177,75 @@ where
             .into_iter()
             .flat_map(|h| match h.join() {
                 Ok(local) => local,
+                // Unreachable in practice (shard panics are caught above),
+                // but a panic in the scope machinery itself still surfaces.
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect()
     });
     tagged.sort_by_key(|&(s, _)| s);
-    tagged.into_iter().map(|(_, a)| a).collect()
+    // Deterministic propagation: with the shards in index order, the first
+    // Err re-raised is the lowest panicking shard for any jobs count.
+    tagged
+        .into_iter()
+        .map(|(_, r)| match r {
+            Ok(a) => a,
+            Err(payload) => std::panic::resume_unwind(payload),
+        })
+        .collect()
+}
+
+/// A trial that panicked inside [`catch_trial`], as data: the campaign
+/// classifies it instead of dying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialPanic {
+    /// The trial index that panicked.
+    pub index: usize,
+    /// The panic payload, stringified (`&str` and `String` payloads are
+    /// preserved verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for TrialPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trial {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TrialPanic {}
+
+/// Runs one trial body with panic isolation: a panic becomes a typed
+/// [`TrialPanic`] carrying the trial index and the stringified payload,
+/// instead of unwinding into the worker pool. The result is ordinary data,
+/// so sharded merge order — and with it bit-identical campaign output —
+/// is unaffected by whether a trial panicked.
+pub fn catch_trial<T>(index: usize, f: impl FnOnce() -> T) -> Result<T, TrialPanic> {
+    catch_unwind(AssertUnwindSafe(f))
+        .map_err(|payload| TrialPanic { index, message: panic_message(payload.as_ref()) })
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`par_map`] with per-trial panic isolation: trial `i`'s result is
+/// `Ok(f(i))`, or `Err(TrialPanic)` if `f(i)` panicked. Results come back
+/// in index order, bit-identical for any `jobs` count.
+pub fn par_map_caught<T, F>(jobs: Jobs, n: usize, f: F) -> Vec<Result<T, TrialPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_sharded(jobs, n, |_, range| range.map(|i| catch_trial(i, || f(i))).collect::<Vec<_>>())
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Parallel map over the trial indices `0..n`, returning the results in
@@ -224,7 +304,7 @@ mod tests {
         let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9) ^ 0xABCD;
         let serial: Vec<u64> = (0..250).map(f).collect();
         for jobs in [1usize, 2, 4, 7, 16] {
-            let par = par_map(Jobs::new(jobs).unwrap(), 250, f);
+            let par = par_map(Jobs::new(jobs).expect("nonzero"), 250, f);
             assert_eq!(par, serial, "jobs = {jobs}");
         }
     }
@@ -246,7 +326,7 @@ mod tests {
         };
         let one = fold(Jobs::serial());
         for jobs in [2usize, 3, 4, 7, 12] {
-            let j = fold(Jobs::new(jobs).unwrap());
+            let j = fold(Jobs::new(jobs).expect("nonzero"));
             assert_eq!(one.to_bits(), j.to_bits(), "jobs = {jobs}");
         }
     }
@@ -254,7 +334,7 @@ mod tests {
     #[test]
     fn all_workers_participate_given_enough_shards() {
         let seen = AtomicU64::new(0);
-        let _ = run_sharded(Jobs::new(4).unwrap(), 1_000, |_, range| {
+        let _ = run_sharded(Jobs::new(4).expect("nonzero"), 1_000, |_, range| {
             // Record a live thread via its address-free marker: count
             // distinct shard executions; with 32 shards and 4 workers every
             // worker pulls several.
@@ -279,9 +359,9 @@ mod tests {
 
     #[test]
     fn jobs_parsing() {
-        assert_eq!(Jobs::parse("1").unwrap().get(), 1);
-        assert_eq!(Jobs::parse("8").unwrap().get(), 8);
-        assert!(Jobs::parse("auto").unwrap().get() >= 1);
+        assert_eq!(Jobs::parse("1").expect("parse 1").get(), 1);
+        assert_eq!(Jobs::parse("8").expect("parse 8").get(), 8);
+        assert!(Jobs::parse("auto").expect("parse auto").get() >= 1);
         assert!(Jobs::parse("0").is_err());
         assert!(Jobs::parse("-3").is_err());
         assert!(Jobs::parse("many").is_err());
@@ -290,7 +370,7 @@ mod tests {
 
     #[test]
     fn empty_trial_range_is_calm() {
-        let out: Vec<u32> = par_map(Jobs::new(4).unwrap(), 0, |_| unreachable!());
+        let out: Vec<u32> = par_map(Jobs::new(4).expect("nonzero"), 0, |_| unreachable!());
         assert!(out.is_empty());
         assert!(merge_shards(Vec::<f64>::new(), |_, _| unreachable!()).is_none());
     }
@@ -298,11 +378,83 @@ mod tests {
     #[test]
     #[should_panic(expected = "boom")]
     fn worker_panics_propagate() {
-        let _ = run_sharded(Jobs::new(2).unwrap(), 100, |s, _| {
+        let _ = run_sharded(Jobs::new(2).expect("nonzero"), 100, |s, _| {
             if s == 3 {
                 panic!("boom");
             }
             s
         });
+    }
+
+    #[test]
+    fn all_shards_complete_before_a_panic_propagates() {
+        // Shard 5 panics; every other shard must still execute (the panic
+        // is re-raised only after the pool drains).
+        let ran = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_sharded(Jobs::new(4).expect("nonzero"), 1_000, |s, range| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if s == 5 {
+                    panic!("shard 5 down");
+                }
+                range.len()
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(ran.load(Ordering::Relaxed), SHARDS as u64, "no shard was skipped");
+    }
+
+    #[test]
+    fn lowest_panicking_shard_wins_regardless_of_jobs() {
+        // Shards 7 and 3 both panic; the surfaced payload must be shard
+        // 3's for any worker count — deterministic propagation.
+        for jobs in [2usize, 4, 7] {
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                run_sharded(Jobs::new(jobs).expect("nonzero"), 1_000, |s, _| {
+                    if s == 7 {
+                        panic!("shard 7");
+                    }
+                    if s == 3 {
+                        panic!("shard 3");
+                    }
+                    s
+                })
+            }))
+            .expect_err("must panic");
+            let msg = err.downcast_ref::<&str>().copied().expect("str payload");
+            assert_eq!(msg, "shard 3", "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn catch_trial_wraps_panics_as_data() {
+        assert_eq!(catch_trial(4, || 42), Ok(42));
+        let p = catch_trial(17, || -> u32 { panic!("boom {}", 17) }).expect_err("panics");
+        assert_eq!(p.index, 17);
+        assert_eq!(p.message, "boom 17");
+        assert_eq!(p.to_string(), "trial 17 panicked: boom 17");
+        // &str payloads are preserved too.
+        let p = catch_trial(2, || -> u32 { panic!("plain") }).expect_err("panics");
+        assert_eq!(p.message, "plain");
+    }
+
+    #[test]
+    fn par_map_caught_is_identical_across_job_counts() {
+        let f = |i: usize| {
+            if i % 97 == 13 {
+                panic!("trial {i} bad");
+            }
+            i * 3
+        };
+        let serial: Vec<Result<usize, TrialPanic>> = par_map_caught(Jobs::serial(), 300, f);
+        assert_eq!(serial.len(), 300);
+        assert!(serial[13].is_err() && serial[110].is_err() && serial[207].is_err());
+        assert_eq!(serial.iter().filter(|r| r.is_err()).count(), 3);
+        assert_eq!(serial[0], Ok(0));
+        assert_eq!(serial[110].as_ref().expect_err("panicked").message, "trial 110 bad");
+        for jobs in [2usize, 4, 7] {
+            let par = par_map_caught(Jobs::new(jobs).expect("nonzero"), 300, f);
+            assert_eq!(par, serial, "jobs = {jobs}");
+        }
     }
 }

@@ -247,6 +247,124 @@ pub fn campaign_summary(trials: &[CampaignTrial]) -> String {
     out
 }
 
+/// Aggregate checkpoint/rollback counters for a whole campaign or batch
+/// of recovered runs.
+///
+/// Telemetry deliberately knows nothing about recovery policies; the
+/// runner reports its per-run counters as plain numbers through
+/// [`RecoveryTotals::absorb`] and this layer stays a pure aggregator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryTotals {
+    /// Runs absorbed into these totals.
+    pub runs: u64,
+    /// Checkpoints taken across all runs (excluding the implicit one at
+    /// cycle 0 of each run).
+    pub checkpoints: u64,
+    /// Rollback/re-execute events across all runs.
+    pub rollbacks: u64,
+    /// Dirty pages moved by checkpoint refreshes and restores — the
+    /// measurable memory cost of the incremental checkpoint scheme.
+    pub pages_moved: u64,
+}
+
+impl RecoveryTotals {
+    /// Folds one run's recovery counters into the totals.
+    pub fn absorb(&mut self, checkpoints: u64, rollbacks: u64, pages_moved: u64) {
+        self.runs += 1;
+        self.checkpoints += checkpoints;
+        self.rollbacks += rollbacks;
+        self.pages_moved += pages_moved;
+    }
+
+    /// Merges another accumulator into this one (shard reduction).
+    pub fn merge(&mut self, other: &RecoveryTotals) {
+        self.runs += other.runs;
+        self.checkpoints += other.checkpoints;
+        self.rollbacks += other.rollbacks;
+        self.pages_moved += other.pages_moved;
+    }
+}
+
+/// Renders the aggregate checkpoint/rollback counters as a short
+/// human-readable block (appended to the campaign summary when recovery
+/// is enabled).
+pub fn recovery_summary(totals: &RecoveryTotals) -> String {
+    let mut out = String::from("recovery totals\n---------------\n");
+    let _ = writeln!(out, "  runs        {:>8}", totals.runs);
+    let _ = writeln!(out, "  checkpoints {:>8}", totals.checkpoints);
+    let _ = writeln!(out, "  rollbacks   {:>8}", totals.rollbacks);
+    let _ = writeln!(out, "  pages moved {:>8}", totals.pages_moved);
+    out
+}
+
+/// Renders detection→recovery coverage per fault target: for each target
+/// (first-seen order), how many trials were run, how many faults were
+/// *detected* (outcomes `detected`, `recovered`, `zeroized`), and how
+/// many of those detections were *handled* safely (`recovered` — the run
+/// completed with a correct result — or `zeroized` — the key was
+/// destroyed before disclosure). The final column is handled/detected.
+pub fn recovery_coverage(trials: &[CampaignTrial]) -> String {
+    struct Row {
+        trials: usize,
+        detected: usize,
+        recovered: usize,
+        zeroized: usize,
+    }
+    let mut order: Vec<&str> = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
+    for t in trials {
+        let i = match order.iter().position(|&o| o == t.target) {
+            Some(i) => i,
+            None => {
+                order.push(&t.target);
+                rows.push(Row { trials: 0, detected: 0, recovered: 0, zeroized: 0 });
+                rows.len() - 1
+            }
+        };
+        let row = &mut rows[i];
+        row.trials += 1;
+        match t.outcome.as_str() {
+            "detected" => row.detected += 1,
+            "recovered" => row.recovered += 1,
+            "zeroized" => row.zeroized += 1,
+            _ => {}
+        }
+    }
+    let mut out = String::from("detection\u{2192}recovery coverage by target\n");
+    out.push_str("target                 trials  detected  recovered  zeroized  coverage\n");
+    let mut tot = Row { trials: 0, detected: 0, recovered: 0, zeroized: 0 };
+    for (name, r) in order.iter().zip(&rows) {
+        let detections = r.detected + r.recovered + r.zeroized;
+        let handled = r.recovered + r.zeroized;
+        let cov = if detections == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * handled as f64 / detections as f64)
+        };
+        let _ = writeln!(
+            out,
+            "  {name:<20} {:>6} {:>9} {:>10} {:>9} {cov:>9}",
+            r.trials, detections, r.recovered, r.zeroized
+        );
+        tot.trials += r.trials;
+        tot.detected += detections;
+        tot.recovered += r.recovered;
+        tot.zeroized += r.zeroized;
+    }
+    let handled = tot.recovered + tot.zeroized;
+    let cov = if tot.detected == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * handled as f64 / tot.detected as f64)
+    };
+    let _ = writeln!(
+        out,
+        "  {:<20} {:>6} {:>9} {:>10} {:>9} {cov:>9}",
+        "total", tot.trials, tot.detected, tot.recovered, tot.zeroized
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +455,38 @@ mod tests {
         assert!(s.contains("2 (50.0%)"));
         assert!(s.contains("sum 4/4"));
         assert!(campaign_summary(&[]).contains("sum 0/0"));
+    }
+
+    #[test]
+    fn recovery_totals_absorb_and_merge() {
+        let mut a = RecoveryTotals::default();
+        a.absorb(3, 1, 40);
+        a.absorb(2, 0, 10);
+        assert_eq!(a, RecoveryTotals { runs: 2, checkpoints: 5, rollbacks: 1, pages_moved: 50 });
+        let mut b = RecoveryTotals::default();
+        b.absorb(1, 2, 5);
+        a.merge(&b);
+        assert_eq!(a.runs, 3);
+        assert_eq!(a.rollbacks, 3);
+        let s = recovery_summary(&a);
+        assert!(s.contains("rollbacks"));
+        assert!(s.contains("3"));
+    }
+
+    #[test]
+    fn recovery_coverage_groups_by_target() {
+        let mut t0 = trial(0, "recovered", "");
+        t0.target = "regfile:r8".into();
+        let mut t1 = trial(1, "zeroized", "");
+        t1.target = "regfile:r8".into();
+        let t2 = trial(2, "no-effect", "");
+        let cov = recovery_coverage(&[t0, t1, t2]);
+        assert!(cov.contains("regfile:r8"), "{cov}");
+        assert!(cov.contains("100.0%"), "{cov}");
+        // The no-effect-only target has no detections: coverage is '-'.
+        let id_ex = cov.lines().find(|l| l.trim_start().starts_with("id_ex.a")).expect("row");
+        assert!(id_ex.trim_end().ends_with('-'), "{id_ex}");
+        assert!(cov.lines().last().expect("total").trim_start().starts_with("total"));
     }
 
     #[test]

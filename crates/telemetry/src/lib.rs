@@ -44,8 +44,8 @@ pub mod observer;
 
 pub use chrome::{escape_json, ChromeTrace};
 pub use export::{
-    campaign_csv, campaign_summary, metrics_csv, summary, CampaignTrial, CycleCsv,
-    COMPONENT_COLUMNS,
+    campaign_csv, campaign_summary, metrics_csv, recovery_coverage, recovery_summary, summary,
+    CampaignTrial, CycleCsv, RecoveryTotals, COMPONENT_COLUMNS,
 };
 pub use metrics::{
     op_class_name, Histogram, MergeError, MetricsRegistry, MetricsSnapshot, MixEntry, PhaseMetrics,
