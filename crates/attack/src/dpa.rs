@@ -15,7 +15,7 @@ use crate::stats::{difference_of_means, peak, TraceMatrix};
 use emask_des::bits::permute;
 use emask_des::cipher::sbox_lookup;
 use emask_des::tables::{E, IP};
-use emask_par::{merge_shards, par_map, run_sharded, trial_seed, Jobs};
+use emask_par::{merge_shards, par_map, run_sharded, run_sharded_snapshotted, trial_seed, Jobs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -376,6 +376,56 @@ where
     run_online_dpa(oracle, cfg.samples, cfg.seed, jobs, OnlineDpa::multibit(cfg.sbox, cfg.bit))
 }
 
+/// [`recover_subkey_multibit_par`] with a live convergence feed: every
+/// `cadence` trials (and once at the end) the merged accumulator over
+/// trials `0..b` is sampled and handed to `on_snapshot(b, &result)` — the
+/// full 64-guess peak vector, so callers can chart key-rank evolution and
+/// best-vs-runner-up margin as the campaign runs. `on_trial(i)` fires from
+/// the worker that folded trial `i` (unordered, possibly concurrent) for
+/// cheap throughput/ETA accounting.
+///
+/// Snapshots arrive in ascending trial order and are **bit-identical for
+/// any `jobs` count** — see `run_sharded_snapshotted` for the merge-order
+/// contract. `cadence == 0` emits only the final snapshot. A slow
+/// `on_snapshot` backpressures the delivering worker rather than buffering
+/// unboundedly.
+///
+/// # Panics
+///
+/// Panics if the configuration is out of range or `samples == 0`.
+pub fn recover_subkey_multibit_par_snapshotted<F, S, T>(
+    oracle: &F,
+    cfg: &DpaConfig,
+    jobs: Jobs,
+    cadence: usize,
+    on_snapshot: S,
+    on_trial: T,
+) -> DpaResult
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+    S: Fn(usize, &DpaResult) + Sync,
+    T: Fn(usize) + Sync,
+{
+    assert!(cfg.samples > 0, "need at least one sample");
+    let proto = OnlineDpa::multibit(cfg.sbox, cfg.bit);
+    let seed = cfg.seed;
+    run_sharded_snapshotted(
+        jobs,
+        cfg.samples,
+        cadence,
+        || proto.clone(),
+        |acc: &mut OnlineDpa, i| {
+            let p = plaintext_for(seed, i as u64);
+            acc.push(p, &oracle(p)).expect("oracle produced a misaligned trace");
+            on_trial(i);
+        },
+        |a, b| a.merge(b).expect("shards saw traces of different widths"),
+        |trials, acc| on_snapshot(trials, &acc.result()),
+    )
+    .unwrap_or(proto)
+    .result()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,6 +579,80 @@ mod tests {
         let multi = recover_subkey_multibit_par(&hw_oracle, &cfg, Jobs::new(4).unwrap());
         assert!(multi.recovered(subkey, 1.5), "{multi}");
         assert_eq!(multi, recover_subkey_multibit_par(&hw_oracle, &cfg, Jobs::new(7).unwrap()));
+    }
+
+    /// The snapshot stream of a run as comparable bytes: `(trials,
+    /// best_guess, margin bits, peak bits)` per snapshot.
+    fn snapshot_stream(
+        cfg: &DpaConfig,
+        jobs: usize,
+        cadence: usize,
+    ) -> Vec<(usize, u8, u64, Vec<u64>)> {
+        let oracle = sync_leaky_oracle(0, 0);
+        let log = std::sync::Mutex::new(Vec::new());
+        recover_subkey_multibit_par_snapshotted(
+            &oracle,
+            cfg,
+            Jobs::new(jobs).unwrap(),
+            cadence,
+            |trials, r: &DpaResult| {
+                log.lock().unwrap().push((
+                    trials,
+                    r.best_guess,
+                    r.margin.to_bits(),
+                    r.peaks.iter().map(|p| p.to_bits()).collect(),
+                ));
+            },
+            |_| {},
+        );
+        log.into_inner().unwrap()
+    }
+
+    #[test]
+    fn snapshotted_dpa_matches_plain_parallel_run_and_any_job_count() {
+        let oracle = sync_leaky_oracle(0, 0);
+        let cfg = DpaConfig { samples: 160, sbox: 0, bit: 0, seed: 42 };
+        let plain = recover_subkey_multibit_par(&oracle, &cfg, Jobs::new(4).unwrap());
+        let snapped = recover_subkey_multibit_par_snapshotted(
+            &oracle,
+            &cfg,
+            Jobs::new(4).unwrap(),
+            50,
+            |_, _| {},
+            |_| {},
+        );
+        assert_eq!(snapped, plain, "snapshotting must not perturb the verdict");
+
+        let serial = snapshot_stream(&cfg, 1, 50);
+        // Boundaries 50, 100, 150, and the final 160, in ascending order.
+        assert_eq!(serial.iter().map(|s| s.0).collect::<Vec<_>>(), vec![50, 100, 150, 160]);
+        for jobs in [4usize, 7] {
+            assert_eq!(snapshot_stream(&cfg, jobs, 50), serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn snapshotted_dpa_last_snapshot_is_the_final_verdict() {
+        let oracle = sync_leaky_oracle(0, 0);
+        let cfg = DpaConfig { samples: 120, sbox: 0, bit: 0, seed: 9 };
+        let last = std::sync::Mutex::new(None);
+        let trials_seen = std::sync::atomic::AtomicUsize::new(0);
+        let result = recover_subkey_multibit_par_snapshotted(
+            &oracle,
+            &cfg,
+            Jobs::new(2).unwrap(),
+            0, // final-only cadence
+            |trials, r: &DpaResult| {
+                *last.lock().unwrap() = Some((trials, r.clone()));
+            },
+            |_| {
+                trials_seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            },
+        );
+        let (trials, snap) = last.into_inner().unwrap().expect("final snapshot fired");
+        assert_eq!(trials, 120);
+        assert_eq!(snap, result);
+        assert_eq!(trials_seen.into_inner(), 120, "on_trial fires once per trial");
     }
 
     #[test]

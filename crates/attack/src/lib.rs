@@ -49,11 +49,11 @@ pub use cpa::{
 pub use dpa::{
     analyze_bit, collect_traces, collect_traces_par, collect_traces_with, plaintext_for,
     recover_subkey, recover_subkey_multibit, recover_subkey_multibit_par,
-    recover_subkey_multibit_with, recover_subkey_par, recover_subkey_with, sbox_chunk,
-    selection_bit, DpaConfig, DpaResult,
+    recover_subkey_multibit_par_snapshotted, recover_subkey_multibit_with, recover_subkey_par,
+    recover_subkey_with, sbox_chunk, selection_bit, DpaConfig, DpaResult,
 };
 pub use online::{OnlineCpa, OnlineDpa, OnlineWelch, Welford};
-pub use progress::{AttackProgress, ProgressCounters};
+pub use progress::{guess_ranks, AttackProgress, ProgressCounters};
 pub use spa::{detect_rounds, SpaReport};
 pub use stats::{
     difference_of_means, difference_of_means_checked, mean_trace, welch_t, welch_t_checked,

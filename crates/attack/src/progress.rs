@@ -72,6 +72,22 @@ impl ProgressCounters {
     }
 }
 
+/// Ranks the 64 subkey guesses by their peak statistic: `ranks[g]` is the
+/// 0-based rank of guess `g`, with rank 0 the leading guess. Ties break
+/// toward the *higher* guess index, matching the argmax the DPA verdict
+/// uses, so rank 0 always names `DpaResult::best_guess`. The rank of the
+/// true subkey over a campaign is the standard key-rank convergence curve.
+#[must_use]
+pub fn guess_ranks(peaks: &[f64; 64]) -> [u8; 64] {
+    let mut order: [u8; 64] = std::array::from_fn(|i| i as u8);
+    order.sort_by(|&a, &b| peaks[b as usize].total_cmp(&peaks[a as usize]).then_with(|| b.cmp(&a)));
+    let mut ranks = [0u8; 64];
+    for (rank, &guess) in order.iter().enumerate() {
+        ranks[guess as usize] = rank as u8;
+    }
+    ranks
+}
+
 impl AttackProgress for ProgressCounters {
     fn on_trace(&mut self, _index: usize, _total: usize, len: usize) {
         self.traces += 1;
@@ -110,6 +126,45 @@ mod tests {
         assert_eq!(p.lead_changes, 2);
         assert_eq!(p.leader, Some((2, 2.0)));
         assert_eq!(p.outcome, Some((2, 2.0)));
+    }
+
+    #[test]
+    fn guess_ranks_orders_by_peak_descending() {
+        let mut peaks = [0.0f64; 64];
+        peaks[5] = 3.0;
+        peaks[17] = 2.0;
+        peaks[40] = 1.0;
+        let ranks = guess_ranks(&peaks);
+        assert_eq!(ranks[5], 0);
+        assert_eq!(ranks[17], 1);
+        assert_eq!(ranks[40], 2);
+        // Every rank 0..64 appears exactly once.
+        let mut seen = [false; 64];
+        for &r in &ranks {
+            assert!(!seen[r as usize], "rank {r} assigned twice");
+            seen[r as usize] = true;
+        }
+    }
+
+    #[test]
+    fn guess_ranks_ties_break_toward_higher_guess() {
+        // All-equal peaks: the verdict's `max_by` keeps the last maximum,
+        // so rank 0 must be guess 63.
+        let peaks = [1.0f64; 64];
+        let ranks = guess_ranks(&peaks);
+        assert_eq!(ranks[63], 0);
+        assert_eq!(ranks[0], 63);
+    }
+
+    #[test]
+    fn counters_handle_nan_peaks_without_losing_the_lead() {
+        // A NaN peak never takes the lead (comparison is false), so the
+        // leader stays well-defined for the progress line.
+        let mut p = ProgressCounters::new();
+        p.on_guess(1, 2.0, 0);
+        p.on_guess(2, f64::NAN, 0);
+        assert_eq!(p.leader, Some((1, 2.0)));
+        assert_eq!(p.lead_changes, 1);
     }
 
     #[test]

@@ -9,24 +9,27 @@
 //! Every figure prints its data series (CSV-ish) plus an ASCII rendering;
 //! EXPERIMENTS.md records the paper-vs-measured comparison.
 
-use emask_bench::campaign::{run_campaign_par, CampaignConfig, FaultOutcome};
-use emask_bench::checkpoint::run_campaign_resumable;
+use emask_bench::campaign::{run_campaign_events, run_campaign_par, CampaignConfig, FaultOutcome};
+use emask_bench::checkpoint::{run_campaign_resumable, run_campaign_resumable_events};
 use emask_bench::experiments::{self, KEY, PLAINTEXT};
-use emask_bench::CampaignReport;
+use emask_bench::{live, CampaignReport};
 use emask_core::{
     ChromeTrace, DesProgramSpec, EncryptionRun, EnergyTrace, MaskPolicy, MaskedDes,
     MetricsRegistry, RecoveryPolicy,
 };
 use emask_par::Jobs;
-use emask_telemetry::{metrics_csv, summary};
+use emask_telemetry::{host_context, metrics_csv, summary_with_host, Event, EventBus};
 use std::env;
 use std::fs;
+use std::io::{BufWriter, IsTerminal, Write};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Every runnable experiment, as listed in `usage()`; `all` expands to the
 /// full sequence.
-const EXPERIMENTS: [&str; 18] = [
+const EXPERIMENTS: [&str; 19] = [
     "fig6",
     "fig7",
     "fig8",
@@ -45,6 +48,7 @@ const EXPERIMENTS: [&str; 18] = [
     "perclass",
     "ablations",
     "fault",
+    "leakage",
 ];
 
 struct Opts {
@@ -61,6 +65,10 @@ struct Opts {
     resume: bool,
     recover: bool,
     jobs: Jobs,
+    live_out: Option<String>,
+    cadence: usize,
+    quiet: bool,
+    leakage_out: Option<String>,
 }
 
 fn main() -> ExitCode {
@@ -80,6 +88,10 @@ fn main() -> ExitCode {
         resume: false,
         recover: false,
         jobs: Jobs::serial(),
+        live_out: None,
+        cadence: 32,
+        quiet: false,
+        leakage_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -132,6 +144,19 @@ fn main() -> ExitCode {
                 Some(Err(e)) => return usage(&e),
                 None => return usage("--jobs needs a thread count or `auto`"),
             },
+            "--live-out" => match it.next() {
+                Some(path) => opts.live_out = Some(path.clone()),
+                None => return usage("--live-out needs a file path or `-` for stdout"),
+            },
+            "--cadence" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.cadence = v,
+                None => return usage("--cadence needs a trial count (0 = final snapshot only)"),
+            },
+            "--quiet" => opts.quiet = true,
+            "--leakage-out" => match it.next() {
+                Some(path) => opts.leakage_out = Some(path.clone()),
+                None => return usage("--leakage-out needs a file path"),
+            },
             flag if flag.starts_with("--") => {
                 return usage(&format!("unknown flag `{flag}`"));
             }
@@ -171,10 +196,28 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
-    println!(
-        "# emask repro — key {KEY:016X}, plaintext {PLAINTEXT:016X}, {} rounds\n",
-        opts.rounds
-    );
+    println!("# emask repro — key {KEY:016X}, plaintext {PLAINTEXT:016X}, {} rounds", opts.rounds);
+    print!("# {}", host_context(Some(opts.jobs.get())).render());
+    println!();
+
+    // `--live-out` installs the bounded event bus plus one consumer thread
+    // that splits the stream: replayable events become the JSONL document,
+    // operational events drive the stderr progress line.
+    let (bus, consumer) = match &opts.live_out {
+        Some(path) => {
+            let bus = Arc::new(EventBus::default());
+            let progress = !opts.quiet && std::io::stderr().is_terminal();
+            let handle = {
+                let bus = Arc::clone(&bus);
+                let path = path.clone();
+                std::thread::spawn(move || live_consumer(&bus, &path, progress))
+            };
+            (Some(bus), Some(handle))
+        }
+        None => (None, None),
+    };
+
+    let mut failed = false;
     for cmd in &cmds {
         match cmd.as_str() {
             "fig6" => fig6(&opts),
@@ -186,22 +229,51 @@ fn main() -> ExitCode {
             "table1" => table1(&opts),
             "xor" => xor(),
             "spa" => spa(&opts),
-            "dpa" => dpa(&opts),
+            "dpa" => dpa(&opts, bus.as_deref()),
             "cpa" => cpa(&opts),
             "sweep" => sweep(&opts),
             "coupling" => coupling(&opts),
             "perclass" => perclass(&opts),
-            "tvla" => tvla(&opts),
+            "tvla" => tvla(&opts, bus.as_deref()),
             "ablations" => ablations(&opts),
             "fault" => {
-                if let Err(e) = fault(&opts) {
+                if let Err(e) = fault(&opts, bus.as_deref()) {
                     eprintln!("error: fault campaign failed: {e}");
-                    return ExitCode::FAILURE;
+                    failed = true;
+                }
+            }
+            "leakage" => {
+                if let Err(e) = leakage(&opts) {
+                    eprintln!("error: leakage attribution failed: {e}");
+                    failed = true;
                 }
             }
             _ => unreachable!("validated above"),
         }
+        if failed {
+            break;
+        }
         println!();
+    }
+
+    if let Some(bus) = &bus {
+        bus.close();
+    }
+    if let Some(handle) = consumer {
+        match handle.join() {
+            Ok(Err(e)) => {
+                eprintln!("error: live event stream failed: {e}");
+                failed = true;
+            }
+            Err(_) => {
+                eprintln!("error: live event consumer panicked");
+                failed = true;
+            }
+            Ok(Ok(())) => {}
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
     }
     if instrumented {
         if let Err(e) = telemetry_run(&opts) {
@@ -212,18 +284,84 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--live-out` consumer loop: drains the bus until the producers
+/// close it, appending replayable events to the JSONL document (`-` =
+/// stdout) and folding operational events into a single in-place stderr
+/// progress/ETA line (suppressed when stderr is not a terminal or
+/// `--quiet` was passed).
+fn live_consumer(bus: &EventBus, path: &str, progress: bool) -> std::io::Result<()> {
+    let mut writer: Box<dyn Write> = if path == "-" {
+        Box::new(std::io::stdout())
+    } else {
+        Box::new(BufWriter::new(fs::File::create(path)?))
+    };
+    // Progress state, reset by each campaign header.
+    let mut experiment = String::new();
+    let mut total = 0u64;
+    let mut done = 0u64;
+    let mut started = Instant::now();
+    let mut drawn = false;
+
+    let mut buf = Vec::new();
+    while bus.drain_wait(&mut buf) {
+        for event in buf.drain(..) {
+            if event.is_replayable() {
+                if let Event::CampaignStarted { experiment: exp, trials, .. } = &event {
+                    experiment = exp.clone();
+                    total = *trials;
+                    done = 0;
+                    started = Instant::now();
+                }
+                writeln!(writer, "{}", event.to_json())?;
+            } else if let Event::TrialCompleted { .. } = event {
+                done += 1;
+            }
+        }
+        if progress && total > 0 {
+            let elapsed = started.elapsed().as_secs_f64();
+            let rate = if elapsed > 0.0 { done as f64 / elapsed } else { 0.0 };
+            let eta = if rate > 0.0 && done < total {
+                format!("{:.0}s", (total - done) as f64 / rate)
+            } else {
+                "--".into()
+            };
+            eprint!("\r{experiment}: {done}/{total} trials ({rate:.0}/s, ETA {eta})    ");
+            let _ = std::io::stderr().flush();
+            drawn = true;
+        }
+    }
+    if drawn {
+        eprintln!();
+    }
+    writer.flush()
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: repro [--rounds N] [--samples N] [--jobs N|auto] [--no-plot] [--trace-out FILE] \
          [--metrics-out FILE] [--summary] [--fault-trials N] [--fault-bits B,B,...] \
-         [--fault-out FILE] <all|{}>...",
+         [--fault-out FILE] [--live-out FILE|-] [--cadence N] [--quiet] [--leakage-out FILE] \
+         <all|{}>...",
         EXPERIMENTS.join("|")
     );
     eprintln!("  --rounds/--samples may be given more than once; the last value wins");
     eprintln!(
         "  --jobs        worker threads for dpa/cpa/tvla/fault (`auto` = all cores); \
          results are identical for any value"
+    );
+    eprintln!(
+        "  --live-out    stream replayable campaign events (dpa/tvla/fault) as JSONL to this \
+         file (`-` = stdout); byte-identical for any --jobs value"
+    );
+    eprintln!(
+        "  --cadence     trials between convergence snapshots on the live stream \
+         (default 32; 0 = final snapshot only)"
+    );
+    eprintln!("  --quiet       suppress the stderr progress/ETA line");
+    eprintln!(
+        "  --leakage-out write the `leakage` experiment's per-instruction CSV here \
+         (default leakage_profile.csv)"
     );
     eprintln!("  --trace-out   write a Chrome trace-event JSON of one observed encryption");
     eprintln!("  --metrics-out write per-phase x per-component energy CSV of that run");
@@ -242,11 +380,14 @@ fn usage(err: &str) -> ExitCode {
 /// probe is an append-mode open, so an existing file's content is left
 /// untouched.
 fn validate_out_paths(opts: &Opts) -> Result<(), String> {
+    let live_out = opts.live_out.as_ref().filter(|p| p.as_str() != "-").cloned();
     let outputs = [
         ("--trace-out", &opts.trace_out),
         ("--metrics-out", &opts.metrics_out),
         ("--fault-out", &opts.fault_out),
         ("--checkpoint", &opts.checkpoint),
+        ("--live-out", &live_out),
+        ("--leakage-out", &opts.leakage_out),
     ];
     for (flag, path) in outputs {
         if let Some(path) = path {
@@ -289,7 +430,7 @@ fn telemetry_run(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
         println!("wrote per-phase metrics CSV to {path}");
     }
     if opts.summary {
-        print!("{}", summary(&snapshot));
+        print!("{}", summary_with_host(&snapshot, &host_context(Some(opts.jobs.get()))));
     }
     Ok(())
 }
@@ -400,18 +541,28 @@ fn spa(opts: &Opts) {
     println!("(paper Figure 6: the 16 rounds are clearly visible)");
 }
 
-fn dpa(opts: &Opts) {
+fn dpa(opts: &Opts, bus: Option<&EventBus>) {
     println!(
         "== DPA: round-1 subkey recovery, S-box 1, {} samples, {} jobs ==",
         opts.samples,
         opts.jobs.get()
     );
     let rounds = opts.rounds.min(4); // round 1 is all DPA needs
-    let unmasked =
-        experiments::dpa_attack_par(MaskPolicy::None, rounds, opts.samples, 0, opts.jobs);
+    let run = |policy| match bus {
+        Some(b) => live::dpa_attack_convergence(
+            policy,
+            rounds,
+            opts.samples,
+            0,
+            opts.jobs,
+            opts.cadence,
+            b,
+        ),
+        None => experiments::dpa_attack_par(policy, rounds, opts.samples, 0, opts.jobs),
+    };
+    let unmasked = run(MaskPolicy::None);
     println!("before masking: {unmasked}");
-    let masked =
-        experiments::dpa_attack_par(MaskPolicy::Selective, rounds, opts.samples, 0, opts.jobs);
+    let masked = run(MaskPolicy::Selective);
     println!("after masking:  {masked}");
     let ok = unmasked.recovered && !masked.recovered;
     println!(
@@ -434,14 +585,36 @@ fn cpa(opts: &Opts) {
     println!("after masking:  {masked}");
 }
 
-fn tvla(opts: &Opts) {
+fn tvla(opts: &Opts, bus: Option<&EventBus>) {
     println!("== TVLA: fixed-vs-random-key Welch t (extension; threshold 4.5) ==");
     let rounds = opts.rounds.min(2);
     let groups = (opts.samples / 4).max(8);
-    let unmasked = experiments::tvla_par(MaskPolicy::None, rounds, groups, 11, opts.jobs);
+    let run = |policy| match bus {
+        Some(b) => live::tvla_convergence(policy, rounds, groups, 11, opts.jobs, opts.cadence, b),
+        None => experiments::tvla_par(policy, rounds, groups, 11, opts.jobs),
+    };
+    let unmasked = run(MaskPolicy::None);
     println!("before masking: {unmasked}");
-    let masked = experiments::tvla_par(MaskPolicy::Selective, rounds, groups, 11, opts.jobs);
+    let masked = run(MaskPolicy::Selective);
     println!("after masking:  {masked}");
+}
+
+/// The leakage attribution study: per-instruction energy-variance
+/// profiles of the unmasked vs selectively masked device, exported as
+/// the `leakage_profile.csv` document (`--leakage-out` overrides the
+/// path).
+fn leakage(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let rounds = opts.rounds.min(2);
+    let traces = (opts.samples / 8).clamp(6, 48);
+    println!(
+        "== Leakage attribution: per-instruction energy variance, {traces} traces, {rounds} rounds =="
+    );
+    let cmp = live::leakage_attribution(rounds, traces, 0xACC0);
+    println!("{cmp}");
+    let path = opts.leakage_out.as_deref().unwrap_or("leakage_profile.csv");
+    fs::write(path, &cmp.csv)?;
+    println!("wrote per-instruction leakage profile CSV to {path}");
+    Ok(())
 }
 
 fn sweep(opts: &Opts) {
@@ -494,7 +667,7 @@ fn ablations(opts: &Opts) {
 /// `--recover` the trials run under checkpoint/rollback recovery; with
 /// `--checkpoint` the campaign itself persists progress after every
 /// shard and `--resume` continues a killed run byte-identically.
-fn fault(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+fn fault(opts: &Opts, bus: Option<&EventBus>) -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "== Fault campaign: {} trials, bits {:?}, selective masking, {} rounds, {} jobs{} ==",
         opts.fault_trials,
@@ -513,9 +686,13 @@ fn fault(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
         recovery: opts.recover.then(RecoveryPolicy::default),
         ..CampaignConfig::default()
     };
-    let report: CampaignReport = match &opts.checkpoint {
-        Some(path) => run_campaign_resumable(&des, &cfg, opts.jobs, Path::new(path))?,
-        None => run_campaign_par(&des, &cfg, opts.jobs)?,
+    let report: CampaignReport = match (&opts.checkpoint, bus) {
+        (Some(path), Some(b)) => {
+            run_campaign_resumable_events(&des, &cfg, opts.jobs, Path::new(path), b)?
+        }
+        (Some(path), None) => run_campaign_resumable(&des, &cfg, opts.jobs, Path::new(path))?,
+        (None, Some(b)) => run_campaign_events(&des, &cfg, opts.jobs, b)?,
+        (None, None) => run_campaign_par(&des, &cfg, opts.jobs)?,
     };
     println!("clean run: {} cycles; cycle budget per trial: 2x", report.clean_cycles);
     print!("{}", report.summary());

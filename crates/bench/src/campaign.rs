@@ -45,8 +45,8 @@ use emask_fault::{
 use emask_isa::OpClass;
 use emask_par::{catch_trial, par_map, Jobs};
 use emask_telemetry::{
-    campaign_csv, campaign_summary, recovery_coverage, recovery_summary, CampaignTrial,
-    RecoveryTotals,
+    campaign_csv, campaign_summary, recovery_coverage, recovery_summary, CampaignTrial, Event,
+    EventSink, NullSink, RecoveryTotals,
 };
 
 /// Number of [`FaultOutcome`] categories.
@@ -424,8 +424,49 @@ pub fn run_campaign_par(
     cfg: &CampaignConfig,
     jobs: Jobs,
 ) -> Result<CampaignReport, RunError> {
+    run_campaign_events(des, cfg, jobs, &NullSink)
+}
+
+/// [`run_campaign_par`] with a live event stream.
+///
+/// Workers emit operational [`Event::TrialCompleted`] (and
+/// [`Event::RecoveryAttempted`] when a trial rolled back) as trials
+/// finish — unordered, droppable, progress-line fodder. The *replayable*
+/// stream is emitted from the merge step only: a
+/// [`Event::CampaignStarted`] header, one [`Event::FaultOutcome`] per
+/// trial **in trial order**, and a [`Event::CampaignCompleted`] trailer —
+/// so the replayable stream is byte-identical for any `jobs` count.
+/// With [`NullSink`] every emission site compiles away and this is
+/// exactly [`run_campaign_par`].
+///
+/// # Errors
+///
+/// Returns the clean baseline run's [`RunError`], if any.
+pub fn run_campaign_events<S: EventSink>(
+    des: &MaskedDes,
+    cfg: &CampaignConfig,
+    jobs: Jobs,
+    sink: &S,
+) -> Result<CampaignReport, RunError> {
     let runner = TrialRunner::prepare(des, cfg)?;
-    let rows = par_map(jobs, cfg.trials, |i| runner.run_trial(i));
+    if S::ACTIVE {
+        sink.emit(Event::CampaignStarted {
+            experiment: "fault".into(),
+            trials: cfg.trials as u64,
+            seed: 0,
+            cadence: 0,
+        });
+    }
+    let rows = par_map(jobs, cfg.trials, |i| {
+        let row = runner.run_trial(i);
+        if S::ACTIVE {
+            if row.2.rollbacks > 0 {
+                sink.emit(Event::RecoveryAttempted { trial: i as u64 });
+            }
+            sink.emit(Event::TrialCompleted { trial: i as u64 });
+        }
+        row
+    });
     let mut trials = Vec::with_capacity(cfg.trials);
     let mut counts = [0usize; OUTCOME_COUNT];
     let mut recovery = RecoveryTotals::default();
@@ -434,7 +475,16 @@ pub fn run_campaign_par(
         if runner.recovery_enabled() {
             recovery.absorb(stats.checkpoints, u64::from(stats.rollbacks), stats.pages_moved);
         }
+        if S::ACTIVE {
+            sink.emit(Event::FaultOutcome {
+                trial: trial.index as u64,
+                outcome: trial.outcome.clone(),
+            });
+        }
         trials.push(trial);
+    }
+    if S::ACTIVE {
+        sink.emit(Event::CampaignCompleted { trials: cfg.trials as u64 });
     }
     Ok(CampaignReport { trials, counts, clean_cycles: runner.clean_cycles(), recovery })
 }

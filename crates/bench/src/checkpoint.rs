@@ -37,7 +37,7 @@ use crate::campaign::{
 };
 use emask_core::{MaskedDes, RunError};
 use emask_par::{run_sharded, Jobs};
-use emask_telemetry::{CampaignTrial, RecoveryTotals};
+use emask_telemetry::{CampaignTrial, Event, EventSink, NullSink, RecoveryTotals};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -300,6 +300,33 @@ pub fn run_campaign_resumable(
     jobs: Jobs,
     path: &Path,
 ) -> Result<CampaignReport, CampaignError> {
+    run_campaign_resumable_events(des, cfg, jobs, path, &NullSink)
+}
+
+/// [`run_campaign_resumable`] with a live event stream — the resumable
+/// analogue of [`run_campaign_events`](crate::campaign::run_campaign_events).
+///
+/// Workers emit operational [`Event::TrialCompleted`] /
+/// [`Event::RecoveryAttempted`] per trial, [`Event::ShardCompleted`] per
+/// finished shard, and [`Event::CheckpointWritten`] after each snapshot
+/// persist. The replayable stream (header, per-trial
+/// [`Event::FaultOutcome`] in trial order, trailer) is emitted from the
+/// deterministic merge — and since resumed shards reload the *same* rows
+/// an uninterrupted run computes, a SIGKILL + resume produces a
+/// byte-identical replayable stream (shards served from the snapshot
+/// emit no operational trial events, which is exactly the "work not
+/// redone" signal).
+///
+/// # Errors
+///
+/// As for [`run_campaign_resumable`].
+pub fn run_campaign_resumable_events<S: EventSink>(
+    des: &MaskedDes,
+    cfg: &CampaignConfig,
+    jobs: Jobs,
+    path: &Path,
+    sink: &S,
+) -> Result<CampaignReport, CampaignError> {
     let runner = TrialRunner::prepare(des, cfg)?;
     let fingerprint = config_fingerprint(cfg, runner.clean_cycles());
     let checkpoint = match CampaignCheckpoint::load(path)? {
@@ -313,17 +340,32 @@ pub fn run_campaign_resumable(
         Some(cp) => cp,
         None => CampaignCheckpoint::new(fingerprint),
     };
+    if S::ACTIVE {
+        sink.emit(Event::CampaignStarted {
+            experiment: "fault".into(),
+            trials: cfg.trials as u64,
+            seed: 0,
+            cadence: 0,
+        });
+    }
     let store = Mutex::new(checkpoint);
     let records = run_sharded(jobs, cfg.trials, |shard, range| {
         if let Some(rec) = store.lock().expect("checkpoint store").shards.get(&shard) {
             return rec.clone();
         }
-        let mut trials = Vec::with_capacity(range.len());
+        let len = range.len();
+        let mut trials = Vec::with_capacity(len);
         let mut recovery = RecoveryTotals::default();
         for i in range {
             let (trial, _, stats) = runner.run_trial(i);
             if runner.recovery_enabled() {
                 recovery.absorb(stats.checkpoints, u64::from(stats.rollbacks), stats.pages_moved);
+            }
+            if S::ACTIVE {
+                if stats.rollbacks > 0 {
+                    sink.emit(Event::RecoveryAttempted { trial: i as u64 });
+                }
+                sink.emit(Event::TrialCompleted { trial: i as u64 });
             }
             trials.push(trial);
         }
@@ -333,6 +375,10 @@ pub fn run_campaign_resumable(
         // Mid-run persistence is best effort — an unwritable path still
         // fails the run, loudly, at the final save below.
         let _ = guard.save(path);
+        if S::ACTIVE {
+            sink.emit(Event::CheckpointWritten { shards_done: guard.shards.len() as u64 });
+            sink.emit(Event::ShardCompleted { shard: shard as u64, len: len as u64 });
+        }
         rec
     });
     let checkpoint = store.into_inner().expect("checkpoint store");
@@ -347,9 +393,18 @@ pub fn run_campaign_resumable(
         for t in &rec.trials {
             let outcome = outcome_from_name(&t.outcome).expect("validated outcome name");
             counts[outcome_index(outcome)] += 1;
+            if S::ACTIVE {
+                sink.emit(Event::FaultOutcome {
+                    trial: t.index as u64,
+                    outcome: t.outcome.clone(),
+                });
+            }
         }
         recovery.merge(&rec.recovery);
         trials.extend(rec.trials);
+    }
+    if S::ACTIVE {
+        sink.emit(Event::CampaignCompleted { trials: cfg.trials as u64 });
     }
     Ok(CampaignReport { trials, counts, clean_cycles: runner.clean_cycles(), recovery })
 }

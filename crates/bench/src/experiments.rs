@@ -26,7 +26,7 @@ pub const KEY: u64 = 0x1334_5779_9BBC_DFF1;
 /// The paper-style evaluation plaintext.
 pub const PLAINTEXT: u64 = 0x0123_4567_89AB_CDEF;
 
-fn compile(policy: MaskPolicy, rounds: usize) -> MaskedDes {
+pub(crate) fn compile(policy: MaskPolicy, rounds: usize) -> MaskedDes {
     MaskedDes::compile_spec(policy, &DesProgramSpec { rounds })
         .expect("generated DES program compiles")
 }

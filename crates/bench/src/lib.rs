@@ -26,6 +26,14 @@
 //! [`experiments::cpa_attack_par`], [`experiments::tvla_par`]) that shard
 //! trials across an `emask-par` worker pool; their reports are
 //! bit-identical for any `--jobs` count.
+//!
+//! The [`live`] module carries the observability layer: `_events` /
+//! `_convergence` drivers that thread an
+//! [`EventSink`](emask_telemetry::EventSink) through the same campaigns,
+//! streaming replayable convergence snapshots (byte-identical at any
+//! `--jobs` count) plus lossy operational progress heartbeats, and the
+//! per-instruction [`live::leakage_attribution`] study behind
+//! `leakage_profile.csv`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,14 +41,19 @@
 pub mod campaign;
 pub mod checkpoint;
 pub mod experiments;
+pub mod live;
 
 pub use campaign::{
-    run_campaign, run_campaign_par, CampaignConfig, CampaignReport, FaultOutcome, OUTCOME_COUNT,
+    run_campaign, run_campaign_events, run_campaign_par, CampaignConfig, CampaignReport,
+    FaultOutcome, OUTCOME_COUNT,
 };
-pub use checkpoint::{run_campaign_resumable, CampaignCheckpoint, CampaignError};
+pub use checkpoint::{
+    run_campaign_resumable, run_campaign_resumable_events, CampaignCheckpoint, CampaignError,
+};
 pub use experiments::{
     ablations, coupling_study, cpa_attack, cpa_attack_par, dpa_attack, dpa_attack_par,
     dpa_sample_sweep, energy_by_class, fig6_round_trace, key_differential, masking_overhead_trace,
     plaintext_differential, policy_totals, spa_rounds, tvla, tvla_par, xor_unit, AblationReport,
     ClassEnergy, CouplingReport, CpaOutcome, DpaOutcome, PolicyTotals, SweepPoint, TvlaReport,
 };
+pub use live::{dpa_attack_convergence, leakage_attribution, tvla_convergence, LeakageComparison};

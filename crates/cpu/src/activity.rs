@@ -54,6 +54,9 @@ impl BusSample {
 /// Functional-unit activity in the EX stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExActivity {
+    /// Program counter of the executing instruction (its text index) —
+    /// the attribution key for per-instruction leakage profiling.
+    pub pc: u32,
     /// The executed operation.
     pub op: Op,
     /// Its class (selects the energy table).

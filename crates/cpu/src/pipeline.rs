@@ -520,6 +520,7 @@ impl Cpu {
                 _ => alu,
             };
             act.ex = Some(ExActivity {
+                pc: id_ex.pc,
                 op: inst.op,
                 class: inst.class(),
                 a: alu_a,

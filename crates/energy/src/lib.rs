@@ -56,11 +56,13 @@
 #![warn(missing_docs)]
 
 pub mod model;
+pub mod profile;
 pub mod tech;
 pub mod trace;
 pub mod units;
 
 pub use model::{ComponentEnergy, CycleEnergy, EnergyModel};
+pub use profile::{LeakageProfile, LeakageProfiler, LeakageRow};
 pub use tech::{EnergyParams, SecureStyle};
 pub use trace::EnergyTrace;
 pub use units::{FunctionalUnit, UnitState};

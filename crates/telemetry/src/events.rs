@@ -1,0 +1,348 @@
+//! Structured campaign events and the zero-cost event-sink contract.
+//!
+//! A long campaign (a million-trace DPA, a resumable fault sweep) is a
+//! black box without a live event stream. This module defines the
+//! **vocabulary** of that stream — one [`Event`] per thing worth knowing
+//! about a running campaign — and the [`EventSink`] trait through which
+//! producers (`emask-par` workers, the `emask-bench` campaign and
+//! experiment runners) hand events to whoever is listening.
+//!
+//! ## Replayable vs operational events
+//!
+//! Every event is one of two kinds, split by [`Event::is_replayable`]:
+//!
+//! * **Replayable** events are part of the campaign's *result*: the run
+//!   header, periodic attack-convergence snapshots, per-trial fault
+//!   outcomes, the completion record. They are emitted in a deterministic
+//!   order from deterministic data, carry no wall-clock fields, and the
+//!   JSONL stream built from them is **byte-identical** for any `--jobs`
+//!   count and across a SIGKILL + `--resume` (CI `cmp`s it).
+//! * **Operational** events describe the *execution*, not the result:
+//!   per-trial completions, shard completions, checkpoint writes,
+//!   recovery attempts. Their interleaving depends on scheduling, so they
+//!   never enter the replayable stream — they drive the live stderr
+//!   progress/ETA line and may be dropped under backpressure
+//!   ([`EventBus::try_emit`](crate::stream::EventBus::try_emit)).
+//!
+//! ## Zero cost when disabled
+//!
+//! [`EventSink`] follows the same compile-time routing pattern as the
+//! CPU's `PipelineHook`: the associated [`EventSink::ACTIVE`] constant is
+//! `false` for [`NullSink`], so emission sites guarded by
+//! `if S::ACTIVE { … }` are dead-code-eliminated when no sink is
+//! installed and the unobserved hot path is untouched.
+
+use crate::chrome::escape_json;
+use std::fmt::Write as _;
+
+/// One structured campaign event.
+///
+/// Field order in [`Event::to_json`] is fixed, fields never carry wall
+/// clock time, and numeric formatting uses Rust's shortest-roundtrip
+/// float display — together these make the replayable JSONL stream
+/// deterministic down to the byte.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Replayable stream header: the campaign began.
+    CampaignStarted {
+        /// Experiment name (`"dpa"`, `"tvla"`, `"fault"`, …).
+        experiment: String,
+        /// Total trial count the campaign will run.
+        trials: u64,
+        /// Base seed the per-trial seeds derive from.
+        seed: u64,
+        /// Snapshot cadence in trials (0 = final snapshot only).
+        cadence: u64,
+    },
+    /// Replayable DPA convergence snapshot after `trials` traces.
+    DpaConvergence {
+        /// Traces folded into the accumulators so far.
+        trials: u64,
+        /// Current best key-guess (0..64).
+        best_guess: u8,
+        /// The best guess's differential peak.
+        best_peak: f64,
+        /// Best-vs-runner-up peak ratio margin.
+        margin: f64,
+        /// Sample offset (cycle within the window) of the best peak.
+        peak_cycle: u64,
+        /// Per-guess key rank: `ranks[g]` is the 0-based rank of guess
+        /// `g` (0 = current leader) — the key-rank evolution curve.
+        ranks: Vec<u8>,
+    },
+    /// Replayable TVLA convergence snapshot after `trials` trace pairs.
+    TvlaConvergence {
+        /// Fixed/random trace pairs folded so far.
+        trials: u64,
+        /// Max |t| over the trace window.
+        max_t: f64,
+        /// Sample offset of the max |t|.
+        at_cycle: u64,
+        /// Number of samples with |t| above the 4.5 TVLA threshold.
+        leaky_cycles: u64,
+    },
+    /// Replayable per-trial fault-campaign outcome (emitted in trial
+    /// order after the deterministic merge, never from workers).
+    FaultOutcome {
+        /// Trial index.
+        trial: u64,
+        /// Outcome class name (`"detected"`, `"recovered"`, …).
+        outcome: String,
+    },
+    /// Replayable stream trailer: the campaign finished.
+    CampaignCompleted {
+        /// Total trials run.
+        trials: u64,
+    },
+    /// Operational: one trial finished on some worker.
+    TrialCompleted {
+        /// Trial index.
+        trial: u64,
+    },
+    /// Operational: a worker finished a whole shard.
+    ShardCompleted {
+        /// Shard index.
+        shard: u64,
+        /// Number of trials in the shard.
+        len: u64,
+    },
+    /// Operational: a campaign checkpoint was persisted.
+    CheckpointWritten {
+        /// Shards recorded in the checkpoint so far.
+        shards_done: u64,
+    },
+    /// Operational: a trial rolled back and re-executed.
+    RecoveryAttempted {
+        /// Trial index.
+        trial: u64,
+    },
+}
+
+impl Event {
+    /// Whether this event belongs to the deterministic replayable stream
+    /// (see the module docs for the split).
+    #[must_use]
+    pub fn is_replayable(&self) -> bool {
+        matches!(
+            self,
+            Event::CampaignStarted { .. }
+                | Event::DpaConvergence { .. }
+                | Event::TvlaConvergence { .. }
+                | Event::FaultOutcome { .. }
+                | Event::CampaignCompleted { .. }
+        )
+    }
+
+    /// The event's type tag, as it appears in the JSON `"event"` field.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CampaignStarted { .. } => "campaign_started",
+            Event::DpaConvergence { .. } => "dpa_convergence",
+            Event::TvlaConvergence { .. } => "tvla_convergence",
+            Event::FaultOutcome { .. } => "fault_outcome",
+            Event::CampaignCompleted { .. } => "campaign_completed",
+            Event::TrialCompleted { .. } => "trial_completed",
+            Event::ShardCompleted { .. } => "shard_completed",
+            Event::CheckpointWritten { .. } => "checkpoint_written",
+            Event::RecoveryAttempted { .. } => "recovery_attempted",
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    ///
+    /// Hand-assembled (the build vendors no serde) with a fixed field
+    /// order; strings pass through [`escape_json`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, r#"{{"event":"{}""#, self.kind());
+        match self {
+            Event::CampaignStarted { experiment, trials, seed, cadence } => {
+                let _ = write!(
+                    s,
+                    r#","experiment":"{}","trials":{trials},"seed":{seed},"cadence":{cadence}"#,
+                    escape_json(experiment)
+                );
+            }
+            Event::DpaConvergence { trials, best_guess, best_peak, margin, peak_cycle, ranks } => {
+                let _ = write!(
+                    s,
+                    r#","trials":{trials},"best_guess":{best_guess},"best_peak":{best_peak},"margin":{margin},"peak_cycle":{peak_cycle},"ranks":["#
+                );
+                for (i, r) in ranks.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{r}");
+                }
+                s.push(']');
+            }
+            Event::TvlaConvergence { trials, max_t, at_cycle, leaky_cycles } => {
+                let _ = write!(
+                    s,
+                    r#","trials":{trials},"max_t":{max_t},"at_cycle":{at_cycle},"leaky_cycles":{leaky_cycles}"#
+                );
+            }
+            Event::FaultOutcome { trial, outcome } => {
+                let _ = write!(s, r#","trial":{trial},"outcome":"{}""#, escape_json(outcome));
+            }
+            Event::CampaignCompleted { trials } => {
+                let _ = write!(s, r#","trials":{trials}"#);
+            }
+            Event::TrialCompleted { trial } => {
+                let _ = write!(s, r#","trial":{trial}"#);
+            }
+            Event::ShardCompleted { shard, len } => {
+                let _ = write!(s, r#","shard":{shard},"len":{len}"#);
+            }
+            Event::CheckpointWritten { shards_done } => {
+                let _ = write!(s, r#","shards_done":{shards_done}"#);
+            }
+            Event::RecoveryAttempted { trial } => {
+                let _ = write!(s, r#","trial":{trial}"#);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Where campaign events go.
+///
+/// Producers are generic over `S: EventSink` and guard emission sites
+/// with `if S::ACTIVE`, so the [`NullSink`] path monomorphizes to the
+/// event-free code — the same zero-cost routing as `PipelineHook`'s
+/// `IS_NULL`. Sinks take `&self` (workers share one sink across
+/// threads), so an implementation must be `Sync`.
+pub trait EventSink: Sync {
+    /// `false` only for sinks that discard everything; lets emission
+    /// sites compile away entirely.
+    const ACTIVE: bool = true;
+
+    /// Accepts one event. Implementations decide the delivery policy
+    /// (block, drop, buffer); see
+    /// [`EventBus`](crate::stream::EventBus) for the bounded
+    /// backpressure-aware implementation.
+    fn emit(&self, event: Event);
+}
+
+/// The discarding sink: `ACTIVE = false`, so guarded emission sites
+/// vanish at compile time and the unobserved campaign path is untouched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    const ACTIVE: bool = false;
+
+    fn emit(&self, _event: Event) {}
+}
+
+impl<S: EventSink> EventSink for &S {
+    const ACTIVE: bool = S::ACTIVE;
+
+    fn emit(&self, event: Event) {
+        (**self).emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replayable_split_matches_the_stream_contract() {
+        let replayable = [
+            Event::CampaignStarted { experiment: "dpa".into(), trials: 8, seed: 1, cadence: 2 },
+            Event::DpaConvergence {
+                trials: 4,
+                best_guess: 7,
+                best_peak: 1.5,
+                margin: 2.0,
+                peak_cycle: 3,
+                ranks: vec![7, 1],
+            },
+            Event::TvlaConvergence { trials: 4, max_t: 9.5, at_cycle: 2, leaky_cycles: 6 },
+            Event::FaultOutcome { trial: 3, outcome: "detected".into() },
+            Event::CampaignCompleted { trials: 8 },
+        ];
+        let operational = [
+            Event::TrialCompleted { trial: 0 },
+            Event::ShardCompleted { shard: 1, len: 16 },
+            Event::CheckpointWritten { shards_done: 2 },
+            Event::RecoveryAttempted { trial: 5 },
+        ];
+        assert!(replayable.iter().all(Event::is_replayable));
+        assert!(operational.iter().all(|e| !e.is_replayable()));
+    }
+
+    #[test]
+    fn json_has_fixed_field_order_and_escapes_strings() {
+        let e = Event::CampaignStarted {
+            experiment: "dpa \"x\"".into(),
+            trials: 512,
+            seed: 42,
+            cadence: 64,
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"event":"campaign_started","experiment":"dpa \"x\"","trials":512,"seed":42,"cadence":64}"#
+        );
+        let e = Event::DpaConvergence {
+            trials: 128,
+            best_guess: 27,
+            best_peak: 0.5,
+            margin: 1.25,
+            peak_cycle: 91,
+            ranks: vec![27, 3, 60],
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"event":"dpa_convergence","trials":128,"best_guess":27,"best_peak":0.5,"margin":1.25,"peak_cycle":91,"ranks":[27,3,60]}"#
+        );
+    }
+
+    #[test]
+    fn json_is_balanced_for_every_variant() {
+        let all = [
+            Event::CampaignStarted { experiment: "t".into(), trials: 1, seed: 0, cadence: 0 },
+            Event::DpaConvergence {
+                trials: 1,
+                best_guess: 0,
+                best_peak: 0.0,
+                margin: 0.0,
+                peak_cycle: 0,
+                ranks: vec![0],
+            },
+            Event::TvlaConvergence { trials: 1, max_t: 0.0, at_cycle: 0, leaky_cycles: 0 },
+            Event::FaultOutcome { trial: 0, outcome: "no-effect".into() },
+            Event::CampaignCompleted { trials: 1 },
+            Event::TrialCompleted { trial: 0 },
+            Event::ShardCompleted { shard: 0, len: 1 },
+            Event::CheckpointWritten { shards_done: 1 },
+            Event::RecoveryAttempted { trial: 0 },
+        ];
+        for e in &all {
+            let json = e.to_json();
+            assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+            assert!(json.starts_with(&format!(r#"{{"event":"{}""#, e.kind())), "{json}");
+        }
+    }
+
+    #[test]
+    fn null_sink_is_inactive_and_references_forward() {
+        const { assert!(!NullSink::ACTIVE) };
+        const { assert!(!<&NullSink as EventSink>::ACTIVE) };
+        struct Collect(std::sync::Mutex<Vec<Event>>);
+        impl EventSink for Collect {
+            fn emit(&self, event: Event) {
+                self.0.lock().expect("poisoned").push(event);
+            }
+        }
+        const { assert!(<&Collect as EventSink>::ACTIVE) };
+        let c = Collect(std::sync::Mutex::new(Vec::new()));
+        let via_ref: &Collect = &c;
+        via_ref.emit(Event::TrialCompleted { trial: 9 });
+        assert_eq!(c.0.lock().expect("poisoned").len(), 1);
+    }
+}

@@ -179,6 +179,74 @@ pub fn summary(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// [`summary`] with the execution host's context appended — the
+/// self-describing form campaign reports and `BENCH_*.json` entries use,
+/// so a number measured in a constrained container says so.
+pub fn summary_with_host(snap: &MetricsSnapshot, host: &HostContext) -> String {
+    let mut out = summary(snap);
+    out.push('\n');
+    out.push_str(&host.render());
+    out
+}
+
+/// The execution host's context, recorded alongside benchmark and
+/// campaign reports so numbers from constrained containers (a
+/// single-CPU CI runner, a pinned cpuset) are self-describing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostContext {
+    /// CPUs visible to this process (`std::thread::available_parallelism`).
+    pub cpus: usize,
+    /// The cgroup cpuset restriction, when one is readable (e.g. `0-3`).
+    pub cpuset: Option<String>,
+    /// The `--jobs` worker count in effect, when the caller has one.
+    pub jobs: Option<usize>,
+}
+
+impl HostContext {
+    /// One human-readable line, appended to run/campaign summaries.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("host: {} cpu(s) visible", self.cpus);
+        if let Some(set) = &self.cpuset {
+            let _ = write!(out, ", cpuset {set}");
+        }
+        if let Some(jobs) = self.jobs {
+            let _ = write!(out, ", jobs {jobs}");
+        }
+        out.push('\n');
+        out
+    }
+
+    /// The same facts as a JSON object fragment, for `BENCH_*.json`
+    /// entries (hand-assembled; no serde in the build).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(r#"{{"cpus":{}"#, self.cpus);
+        if let Some(set) = &self.cpuset {
+            let _ = write!(out, r#","cpuset":"{}""#, crate::chrome::escape_json(set));
+        }
+        if let Some(jobs) = self.jobs {
+            let _ = write!(out, r#","jobs":{jobs}"#);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Detects the host context: visible CPU count, the cgroup cpuset (v2
+/// `cpuset.cpus.effective`, falling back to the v1 path) when readable,
+/// and the caller's `--jobs` setting.
+#[must_use]
+pub fn host_context(jobs: Option<usize>) -> HostContext {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cpuset = ["/sys/fs/cgroup/cpuset.cpus.effective", "/sys/fs/cgroup/cpuset/cpuset.cpus"]
+        .iter()
+        .find_map(|p| std::fs::read_to_string(p).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    HostContext { cpus, cpuset, jobs }
+}
+
 /// One fault-injection trial's result, as reported by a campaign runner.
 ///
 /// Telemetry deliberately knows nothing about fault plans; the campaign
@@ -487,6 +555,27 @@ mod tests {
         let id_ex = cov.lines().find(|l| l.trim_start().starts_with("id_ex.a")).expect("row");
         assert!(id_ex.trim_end().ends_with('-'), "{id_ex}");
         assert!(cov.lines().last().expect("total").trim_start().starts_with("total"));
+    }
+
+    #[test]
+    fn host_context_reports_cpus_and_renders_both_formats() {
+        let ctx = host_context(Some(4));
+        assert!(ctx.cpus >= 1);
+        assert_eq!(ctx.jobs, Some(4));
+        let line = ctx.render();
+        assert!(line.starts_with("host: "), "{line}");
+        assert!(line.contains("jobs 4"), "{line}");
+        let json = ctx.to_json();
+        assert!(json.starts_with(r#"{"cpus":"#), "{json}");
+        assert!(json.contains(r#""jobs":4"#), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Without a jobs setting, the field is simply absent.
+        let bare = HostContext { cpus: 1, cpuset: None, jobs: None };
+        assert_eq!(bare.render(), "host: 1 cpu(s) visible\n");
+        assert_eq!(bare.to_json(), r#"{"cpus":1}"#);
+        let pinned = HostContext { cpus: 8, cpuset: Some("0-3".into()), jobs: Some(2) };
+        assert_eq!(pinned.render(), "host: 8 cpu(s) visible, cpuset 0-3, jobs 2\n");
+        assert_eq!(pinned.to_json(), r#"{"cpus":8,"cpuset":"0-3","jobs":2}"#);
     }
 
     #[test]

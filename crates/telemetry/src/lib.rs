@@ -19,6 +19,10 @@
 //!   Perfetto.
 //! * [`CycleCsv`], [`metrics_csv`], [`summary`] — per-cycle energy CSV,
 //!   per-phase metrics CSV, and the human-readable run report.
+//! * [`Event`] / [`EventSink`] / [`EventBus`] — the live campaign event
+//!   stream: structured replayable + operational events, a zero-cost
+//!   null sink (same compile-time routing as `PipelineHook`), and a
+//!   bounded backpressure-aware bus for live consumers.
 //!
 //! ## Example
 //!
@@ -38,17 +42,22 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod events;
 pub mod export;
 pub mod metrics;
 pub mod observer;
+pub mod stream;
 
 pub use chrome::{escape_json, ChromeTrace};
+pub use events::{Event, EventSink, NullSink};
 pub use export::{
-    campaign_csv, campaign_summary, metrics_csv, recovery_coverage, recovery_summary, summary,
-    CampaignTrial, CycleCsv, RecoveryTotals, COMPONENT_COLUMNS,
+    campaign_csv, campaign_summary, host_context, metrics_csv, recovery_coverage, recovery_summary,
+    summary, summary_with_host, CampaignTrial, CycleCsv, HostContext, RecoveryTotals,
+    COMPONENT_COLUMNS,
 };
 pub use metrics::{
     op_class_name, Histogram, MergeError, MetricsRegistry, MetricsSnapshot, MixEntry, PhaseMetrics,
     OP_CLASSES,
 };
 pub use observer::{PhaseEvent, RunObserver};
+pub use stream::{EventBus, DEFAULT_BUS_CAPACITY};

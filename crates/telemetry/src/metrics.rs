@@ -69,12 +69,21 @@ fn op_class_index(class: OpClass) -> usize {
 }
 
 /// A fixed-width linear histogram with an overflow bucket.
+///
+/// Buckets are half-open `[k·width, (k+1)·width)`: a sample exactly on a
+/// boundary lands in the *upper* bucket. Negative samples clamp into
+/// bucket 0; samples past the last bucket — and non-finite samples,
+/// which carry no usable magnitude — land in the overflow bucket.
+/// Non-finite samples are kept out of `sum`/`min`/`max`, so one poisoned
+/// cycle cannot corrupt the whole distribution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     width: f64,
     counts: Vec<u64>,
     overflow: u64,
     n: u64,
+    /// Finite samples only — the denominator for [`Histogram::mean`].
+    finite: u64,
     sum: f64,
     min: f64,
     max: f64,
@@ -94,21 +103,31 @@ impl Histogram {
             counts: vec![0; buckets],
             overflow: 0,
             n: 0,
+            finite: 0,
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
     }
 
-    /// Records one sample (negative samples land in bucket 0).
+    /// Records one sample (negative samples land in bucket 0, boundary
+    /// samples in the upper bucket, non-finite samples in overflow; all
+    /// counters saturate instead of wrapping).
     pub fn record(&mut self, value: f64) {
+        self.n = self.n.saturating_add(1);
+        if !value.is_finite() {
+            self.overflow = self.overflow.saturating_add(1);
+            return;
+        }
+        // The float cast saturates, so a huge value/width lands in
+        // overflow rather than wrapping into a live bucket.
         let idx = (value / self.width).floor().max(0.0) as usize;
         if idx < self.counts.len() {
-            self.counts[idx] += 1;
+            self.counts[idx] = self.counts[idx].saturating_add(1);
         } else {
-            self.overflow += 1;
+            self.overflow = self.overflow.saturating_add(1);
         }
-        self.n += 1;
+        self.finite = self.finite.saturating_add(1);
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
@@ -129,32 +148,38 @@ impl Histogram {
         self.width
     }
 
-    /// Number of recorded samples.
+    /// Number of recorded samples (finite or not).
     pub fn count(&self) -> u64 {
         self.n
     }
 
-    /// Mean of the recorded samples (0 when empty).
+    /// Number of finite recorded samples — the population behind
+    /// [`Histogram::mean`], [`Histogram::min`] and [`Histogram::max`].
+    pub fn finite_count(&self) -> u64 {
+        self.finite
+    }
+
+    /// Mean of the finite recorded samples (0 when none).
     pub fn mean(&self) -> f64 {
-        if self.n == 0 {
+        if self.finite == 0 {
             0.0
         } else {
-            self.sum / self.n as f64
+            self.sum / self.finite as f64
         }
     }
 
-    /// Smallest recorded sample (0 when empty).
+    /// Smallest finite recorded sample (0 when none).
     pub fn min(&self) -> f64 {
-        if self.n == 0 {
+        if self.finite == 0 {
             0.0
         } else {
             self.min
         }
     }
 
-    /// Largest recorded sample (0 when empty).
+    /// Largest finite recorded sample (0 when none).
     pub fn max(&self) -> f64 {
-        if self.n == 0 {
+        if self.finite == 0 {
             0.0
         } else {
             self.max
@@ -175,10 +200,11 @@ impl Histogram {
             });
         }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.overflow += other.overflow;
-        self.n += other.n;
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        self.n = self.n.saturating_add(other.n);
+        self.finite = self.finite.saturating_add(other.finite);
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -211,9 +237,9 @@ pub struct MixEntry {
 }
 
 impl MixEntry {
-    /// Total retired instructions of this class.
+    /// Total retired instructions of this class (saturating).
     pub fn total(&self) -> u64 {
-        self.normal + self.secure
+        self.normal.saturating_add(self.secure)
     }
 }
 
@@ -358,20 +384,20 @@ impl MetricsRegistry {
             });
         }
         self.cycle_energy.merge(&other.cycle_energy).expect("shape checked above");
-        self.cycles += other.cycles;
-        self.retired += other.retired;
-        self.retired_secure += other.retired_secure;
-        self.stall_cycles += other.stall_cycles;
-        self.flushed += other.flushed;
-        self.secure_cycles += other.secure_cycles;
+        self.cycles = self.cycles.saturating_add(other.cycles);
+        self.retired = self.retired.saturating_add(other.retired);
+        self.retired_secure = self.retired_secure.saturating_add(other.retired_secure);
+        self.stall_cycles = self.stall_cycles.saturating_add(other.stall_cycles);
+        self.flushed = self.flushed.saturating_add(other.flushed);
+        self.secure_cycles = self.secure_cycles.saturating_add(other.secure_cycles);
         for (a, b) in self.mix.iter_mut().zip(&other.mix) {
-            a.normal += b.normal;
-            a.secure += b.secure;
+            a.normal = a.normal.saturating_add(b.normal);
+            a.secure = a.secure.saturating_add(b.secure);
         }
         self.energy += other.energy;
         for theirs in &other.phases {
             if let Some(ours) = self.phases.iter_mut().find(|p| p.name == theirs.name) {
-                ours.cycles += theirs.cycles;
+                ours.cycles = ours.cycles.saturating_add(theirs.cycles);
                 ours.energy += theirs.energy;
                 ours.start_cycle = ours.start_cycle.min(theirs.start_cycle);
             } else {
@@ -464,6 +490,51 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn boundary_samples_land_in_the_upper_bucket() {
+        let mut h = Histogram::new(10.0, 4);
+        for v in [0.0, 10.0, 20.0, 30.0, 40.0] {
+            h.record(v);
+        }
+        // Half-open [k·w, (k+1)·w): each boundary value opens bucket k;
+        // 40.0 is the first boundary past the last bucket → overflow.
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn non_finite_samples_overflow_without_poisoning_stats() {
+        let mut h = Histogram::new(10.0, 3);
+        h.record(5.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(15.0);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.finite_count(), 2);
+        assert_eq!(h.counts(), &[1, 1, 0], "NaN must not clamp into bucket 0");
+        assert_eq!(h.overflow(), 3);
+        assert!((h.mean() - 10.0).abs() < 1e-12, "mean over finite samples only");
+        assert_eq!(h.min(), 5.0);
+        assert_eq!(h.max(), 15.0);
+        // Merging a NaN-tainted histogram keeps the combined stats clean.
+        let mut clean = Histogram::new(10.0, 3);
+        clean.record(25.0);
+        clean.merge(&h).expect("same shape");
+        assert_eq!(clean.finite_count(), 3);
+        assert!(clean.mean().is_finite());
+        assert_eq!(clean.max(), 25.0);
+    }
+
+    #[test]
+    fn huge_samples_saturate_into_overflow() {
+        let mut h = Histogram::new(0.001, 2);
+        h.record(f64::MAX); // index would overflow any usize — saturating cast
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts(), &[0, 0]);
+        assert_eq!(h.max(), f64::MAX);
     }
 
     #[test]

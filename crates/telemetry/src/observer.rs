@@ -66,6 +66,23 @@ impl<O: RunObserver + ?Sized> RunObserver for &mut O {
     }
 }
 
+/// A [`LeakageProfiler`](emask_energy::LeakageProfiler) observes runs
+/// directly: every cycle's data-dependent energy is attributed to the
+/// executing PC, phase markers tag the attribution, and run completion
+/// closes the trace — so `encrypt_observed(&mut profiler)` per plaintext
+/// builds the cross-trace per-instruction leakage ranking.
+impl RunObserver for emask_energy::LeakageProfiler {
+    fn on_cycle(&mut self, act: &CycleActivity, energy: &CycleEnergy) {
+        self.record(act, energy);
+    }
+    fn on_phase(&mut self, event: &PhaseEvent) {
+        self.set_phase(&event.name);
+    }
+    fn on_finish(&mut self, _stats: &RunResult) {
+        self.end_trace();
+    }
+}
+
 impl<A: RunObserver, B: RunObserver> RunObserver for (A, B) {
     fn on_cycle(&mut self, act: &CycleActivity, energy: &CycleEnergy) {
         self.0.on_cycle(act, energy);
