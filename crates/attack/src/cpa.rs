@@ -204,7 +204,54 @@ where
     .result()
 }
 
+/// [`cpa_recover_subkey_par`] under a cooperative
+/// [`CancelToken`](emask_par::CancelToken): the token is checked before
+/// each trace is acquired, so a trip (client cancel, deadline, shutdown)
+/// stops the campaign at a trial boundary and returns a typed
+/// [`Interrupted`](emask_par::Interrupted) with the number of fully
+/// folded trials. A token that trips after the last trial has no effect:
+/// a completed run is always delivered, bit-identical to
+/// [`cpa_recover_subkey_par`].
+///
+/// # Errors
+///
+/// Returns [`Interrupted`](emask_par::Interrupted) if the token trips
+/// before every trial has been folded.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples < 2` or `cfg.sbox >= 8`.
+pub fn cpa_recover_subkey_par_cancellable<F>(
+    oracle: &F,
+    cfg: &CpaConfig,
+    jobs: Jobs,
+    token: &emask_par::CancelToken,
+) -> Result<CpaResult, emask_par::Interrupted>
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+{
+    assert!(cfg.samples >= 2, "correlation needs at least two samples");
+    let proto = OnlineCpa::new(cfg.sbox);
+    let accs = emask_par::run_sharded_cancellable(jobs, cfg.samples, token, |_, range| {
+        let mut acc = proto.clone();
+        for (done, i) in range.enumerate() {
+            if token.check().is_err() {
+                return Err(done);
+            }
+            let p = plaintext_for(cfg.seed, i as u64);
+            acc.push(p, &oracle(p)).expect("oracle produced a misaligned trace");
+        }
+        Ok(acc)
+    })?;
+    Ok(merge_shards(accs, |a, b| {
+        a.merge(&b).expect("shards saw traces of different widths");
+    })
+    .expect("samples >= 2 yields at least one shard")
+    .result())
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use emask_des::KeySchedule;
@@ -247,6 +294,36 @@ mod tests {
         let cfg = CpaConfig { samples: 100, sbox: 0, seed: 5 };
         let result = cpa_recover_subkey(|_| vec![42.0; 4], &cfg);
         assert!(result.peaks.iter().all(|&p| p < 1e-9), "{result}");
+    }
+
+    #[test]
+    fn uncancelled_cpa_cancellable_matches_par() {
+        let subkey = KeySchedule::new(KEY).round_key(1).sbox_slice(0);
+        let cfg = CpaConfig { samples: 200, sbox: 0, seed: 77 };
+        let oracle = move |p: u64| {
+            let hw = f64::from(predicted_hamming_weight(p, subkey, 0));
+            vec![100.0 + (p % 23) as f64, 100.0 + 3.0 * hw, 100.0 - (p % 7) as f64]
+        };
+        let plain = cpa_recover_subkey_par(&oracle, &cfg, Jobs::new(4).unwrap());
+        let token = emask_par::CancelToken::new();
+        let cancellable =
+            cpa_recover_subkey_par_cancellable(&oracle, &cfg, Jobs::new(4).unwrap(), &token)
+                .expect("untripped token never interrupts");
+        assert_eq!(plain.best_guess, subkey);
+        assert_eq!(plain.peaks, cancellable.peaks, "cancellable harness must be bit-identical");
+        assert_eq!(plain.peak_cycles, cancellable.peak_cycles);
+    }
+
+    #[test]
+    fn pre_cancelled_cpa_interrupts_with_zero_trials() {
+        let cfg = CpaConfig { samples: 100, sbox: 0, seed: 5 };
+        let token = emask_par::CancelToken::new();
+        token.cancel(emask_par::CancelReason::Cancelled);
+        let oracle = |_: u64| vec![42.0; 4];
+        let err = cpa_recover_subkey_par_cancellable(&oracle, &cfg, Jobs::new(2).unwrap(), &token)
+            .expect_err("tripped token must interrupt");
+        assert_eq!(err.completed_trials, 0);
+        assert_eq!(err.reason, emask_par::CancelReason::Cancelled);
     }
 
     #[test]

@@ -15,7 +15,10 @@ use crate::stats::{difference_of_means, peak, TraceMatrix};
 use emask_des::bits::permute;
 use emask_des::cipher::sbox_lookup;
 use emask_des::tables::{E, IP};
-use emask_par::{merge_shards, par_map, run_sharded, run_sharded_snapshotted, trial_seed, Jobs};
+use emask_par::{
+    merge_shards, par_map, run_sharded, run_sharded_snapshotted_cancellable, trial_seed,
+    CancelToken, Interrupted, Jobs,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -406,13 +409,62 @@ where
     S: Fn(usize, &DpaResult) + Sync,
     T: Fn(usize) + Sync,
 {
+    match recover_subkey_multibit_par_snapshotted_cancellable(
+        oracle,
+        cfg,
+        jobs,
+        cadence,
+        &CancelToken::new(),
+        on_snapshot,
+        on_trial,
+    ) {
+        Ok(result) => result,
+        Err(_) => unreachable!("a private never-cancelled token cannot interrupt"),
+    }
+}
+
+/// [`recover_subkey_multibit_par_snapshotted`] under a cooperative
+/// [`CancelToken`]: the token is checked at every trial boundary, and a
+/// trip (client cancel, deadline, shutdown) stops the campaign cleanly
+/// with a typed [`Interrupted`] carrying the number of fully folded
+/// trials. The snapshot stream delivered before the interrupt is a
+/// **prefix** of the uninterrupted stream — byte-identical snapshots in
+/// the same ascending order — so supervision (emask-serve) can resume the
+/// attack later and splice the streams without re-emitting or diverging.
+/// A token that trips after the last trial folds has no effect: a
+/// completed run is always delivered.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] if the token trips before every trial has been
+/// folded and merged.
+///
+/// # Panics
+///
+/// Panics if the configuration is out of range or `samples == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn recover_subkey_multibit_par_snapshotted_cancellable<F, S, T>(
+    oracle: &F,
+    cfg: &DpaConfig,
+    jobs: Jobs,
+    cadence: usize,
+    token: &CancelToken,
+    on_snapshot: S,
+    on_trial: T,
+) -> Result<DpaResult, Interrupted>
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+    S: Fn(usize, &DpaResult) + Sync,
+    T: Fn(usize) + Sync,
+{
     assert!(cfg.samples > 0, "need at least one sample");
     let proto = OnlineDpa::multibit(cfg.sbox, cfg.bit);
     let seed = cfg.seed;
-    run_sharded_snapshotted(
+    let acc = run_sharded_snapshotted_cancellable(
         jobs,
         cfg.samples,
         cadence,
+        token,
         || proto.clone(),
         |acc: &mut OnlineDpa, i| {
             let p = plaintext_for(seed, i as u64);
@@ -421,12 +473,12 @@ where
         },
         |a, b| a.merge(b).expect("shards saw traces of different widths"),
         |trials, acc| on_snapshot(trials, &acc.result()),
-    )
-    .unwrap_or(proto)
-    .result()
+    )?;
+    Ok(acc.unwrap_or(proto).result())
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use emask_des::KeySchedule;
@@ -629,6 +681,69 @@ mod tests {
         for jobs in [4usize, 7] {
             assert_eq!(snapshot_stream(&cfg, jobs, 50), serial, "jobs = {jobs}");
         }
+    }
+
+    #[test]
+    fn uncancelled_snapshotted_cancellable_dpa_is_bit_identical() {
+        let oracle = sync_leaky_oracle(0, 0);
+        let cfg = DpaConfig { samples: 160, sbox: 0, bit: 0, seed: 42 };
+        let plain = recover_subkey_multibit_par_snapshotted(
+            &oracle,
+            &cfg,
+            Jobs::new(4).unwrap(),
+            50,
+            |_, _| {},
+            |_| {},
+        );
+        let token = CancelToken::new();
+        let cancellable = recover_subkey_multibit_par_snapshotted_cancellable(
+            &oracle,
+            &cfg,
+            Jobs::new(4).unwrap(),
+            50,
+            &token,
+            |_, _| {},
+            |_| {},
+        )
+        .expect("untripped token never interrupts");
+        assert_eq!(cancellable, plain, "cancellable harness must be bit-identical");
+    }
+
+    #[test]
+    fn cancelled_snapshotted_dpa_streams_a_prefix_then_interrupts() {
+        let cfg = DpaConfig { samples: 160, sbox: 0, bit: 0, seed: 42 };
+        let full = snapshot_stream(&cfg, 1, 50);
+        let oracle = sync_leaky_oracle(0, 0);
+        let token = CancelToken::new();
+        let log = std::sync::Mutex::new(Vec::new());
+        let err = recover_subkey_multibit_par_snapshotted_cancellable(
+            &oracle,
+            &cfg,
+            Jobs::new(1).unwrap(),
+            50,
+            &token,
+            |trials, r: &DpaResult| {
+                log.lock().unwrap().push((
+                    trials,
+                    r.best_guess,
+                    r.margin.to_bits(),
+                    r.peaks.iter().map(|p| p.to_bits()).collect::<Vec<u64>>(),
+                ));
+                if trials == 50 {
+                    token.cancel(emask_par::CancelReason::Cancelled);
+                }
+            },
+            |_| {},
+        )
+        .expect_err("a token tripped mid-run must interrupt");
+        assert_eq!(err.reason, emask_par::CancelReason::Cancelled);
+        let emitted = log.into_inner().unwrap();
+        assert!(!emitted.is_empty());
+        assert_eq!(
+            emitted.as_slice(),
+            &full[..emitted.len()],
+            "interrupted stream must be a bit-identical prefix of the full one"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 pub mod cpa;
 pub mod dpa;
@@ -43,14 +44,15 @@ pub mod spa;
 pub mod stats;
 
 pub use cpa::{
-    cpa_recover_subkey, cpa_recover_subkey_par, cpa_recover_subkey_with, predicted_hamming_weight,
-    CpaConfig, CpaResult,
+    cpa_recover_subkey, cpa_recover_subkey_par, cpa_recover_subkey_par_cancellable,
+    cpa_recover_subkey_with, predicted_hamming_weight, CpaConfig, CpaResult,
 };
 pub use dpa::{
     analyze_bit, collect_traces, collect_traces_par, collect_traces_with, plaintext_for,
     recover_subkey, recover_subkey_multibit, recover_subkey_multibit_par,
-    recover_subkey_multibit_par_snapshotted, recover_subkey_multibit_with, recover_subkey_par,
-    recover_subkey_with, sbox_chunk, selection_bit, DpaConfig, DpaResult,
+    recover_subkey_multibit_par_snapshotted, recover_subkey_multibit_par_snapshotted_cancellable,
+    recover_subkey_multibit_with, recover_subkey_par, recover_subkey_with, sbox_chunk,
+    selection_bit, DpaConfig, DpaResult,
 };
 pub use online::{OnlineCpa, OnlineDpa, OnlineWelch, Welford};
 pub use progress::{guess_ranks, AttackProgress, ProgressCounters};

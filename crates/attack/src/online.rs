@@ -541,6 +541,7 @@ impl OnlineCpa {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::stats::{mean_trace, variance_trace, welch_t, TraceMatrix};

@@ -108,6 +108,7 @@ impl AttackProgress for ProgressCounters {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -81,6 +81,7 @@ pub fn detect_rounds(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

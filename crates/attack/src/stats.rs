@@ -227,6 +227,7 @@ pub fn peak(stat: &[f64]) -> (usize, f64) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -9,15 +9,19 @@
 //! Every figure prints its data series (CSV-ish) plus an ASCII rendering;
 //! EXPERIMENTS.md records the paper-vs-measured comparison.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used)]
+
 use emask_bench::campaign::{run_campaign_events, run_campaign_par, CampaignConfig, FaultOutcome};
 use emask_bench::checkpoint::{run_campaign_resumable, run_campaign_resumable_events};
 use emask_bench::experiments::{self, KEY, PLAINTEXT};
-use emask_bench::{live, CampaignReport};
+use emask_bench::{live, BenchRunner, CampaignReport};
 use emask_core::{
     ChromeTrace, DesProgramSpec, EncryptionRun, EnergyTrace, MaskPolicy, MaskedDes,
     MetricsRegistry, RecoveryPolicy,
 };
 use emask_par::Jobs;
+use emask_serve::{client, ServerConfig};
 use emask_telemetry::{host_context, metrics_csv, summary_with_host, Event, EventBus};
 use std::env;
 use std::fs;
@@ -73,6 +77,13 @@ struct Opts {
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    // The campaign-service subcommands have their own flag grammar.
+    if matches!(
+        args.first().map(String::as_str),
+        Some("serve" | "submit" | "status" | "cancel" | "watch")
+    ) {
+        return service_cli(&args);
+    }
     let mut cmds: Vec<String> = Vec::new();
     let mut opts = Opts {
         rounds: 16,
@@ -333,7 +344,152 @@ fn live_consumer(bus: &EventBus, path: &str, progress: bool) -> std::io::Result<
     if drawn {
         eprintln!();
     }
+    // Operational events (progress heartbeats) are droppable by design;
+    // surface the count so shedding is never silent. The replayable
+    // stream in the JSONL document is lossless regardless.
+    let dropped = bus.dropped();
+    if dropped > 0 {
+        eprintln!(
+            "note: {dropped} operational events dropped under backpressure \
+             (the replayable JSONL stream is lossless)"
+        );
+    }
     writer.flush()
+}
+
+/// The `repro serve|submit|status|cancel|watch` subcommands — the CLI
+/// face of the `emask-serve` campaign service.
+fn service_cli(args: &[String]) -> ExitCode {
+    let cmd = args[0].as_str();
+    let mut state_dir = String::from("emask-serve-state");
+    let mut socket: Option<String> = None;
+    let mut queue_depth = 32usize;
+    let mut budget_mb = 512u64;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--state-dir" => match it.next() {
+                Some(dir) => state_dir = dir.clone(),
+                None => return service_usage("--state-dir needs a directory path"),
+            },
+            "--socket" => match it.next() {
+                Some(path) => socket = Some(path.clone()),
+                None => return service_usage("--socket needs a socket path"),
+            },
+            "--queue-depth" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => queue_depth = v,
+                _ => return service_usage("--queue-depth needs a positive count"),
+            },
+            "--memory-budget-mb" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => budget_mb = v,
+                _ => return service_usage("--memory-budget-mb needs a positive size"),
+            },
+            flag if flag.starts_with("--") => {
+                return service_usage(&format!("unknown flag `{flag}`"));
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let socket_path =
+        std::path::PathBuf::from(socket.unwrap_or_else(|| format!("{state_dir}/serve.sock")));
+    let job_arg = |positional: &[String]| -> Result<u64, ExitCode> {
+        positional
+            .first()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| service_usage(&format!("{cmd} needs a job id")))
+    };
+    match cmd {
+        "serve" => {
+            let mut cfg = ServerConfig::new(std::path::PathBuf::from(&state_dir));
+            cfg.socket = socket_path;
+            cfg.queue_depth = queue_depth;
+            cfg.memory_budget = budget_mb * 1024 * 1024;
+            match emask_serve::serve(&cfg, BenchRunner) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "submit" => {
+            let Some(spec) = positional.first() else {
+                return service_usage("submit needs a spec JSON argument");
+            };
+            match client::submit(&socket_path, spec) {
+                Ok(id) => {
+                    println!("{id}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "status" => match client::status(&socket_path) {
+            Ok(line) => {
+                println!("{line}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "cancel" => {
+            let id = match job_arg(&positional) {
+                Ok(id) => id,
+                Err(code) => return code,
+            };
+            match client::cancel(&socket_path, id) {
+                Ok(()) => {
+                    println!("cancelled job {id}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "watch" => {
+            let id = match job_arg(&positional) {
+                Ok(id) => id,
+                Err(code) => return code,
+            };
+            let mut out = std::io::stdout();
+            match client::watch(&socket_path, id, &mut out) {
+                Ok(final_line) => {
+                    println!("{final_line}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => unreachable!("routed in main"),
+    }
+}
+
+fn service_usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: repro serve  [--state-dir DIR] [--socket PATH] [--queue-depth N] [--memory-budget-mb N]"
+    );
+    eprintln!(
+        "       repro submit [--socket PATH] '{{\"experiment\":\"fault\",\"trials\":400,...}}'"
+    );
+    eprintln!("       repro status [--socket PATH]");
+    eprintln!("       repro cancel [--socket PATH] JOB");
+    eprintln!("       repro watch  [--socket PATH] JOB");
+    eprintln!("  the default socket is <state-dir>/serve.sock (state dir: emask-serve-state)");
+    eprintln!("  `submit` prints the job id; results land in <state-dir>/job-<id>.csv");
+    eprintln!("  SIGTERM drains gracefully; a restarted server auto-resumes parked jobs");
+    ExitCode::FAILURE
 }
 
 fn usage(err: &str) -> ExitCode {

@@ -484,12 +484,16 @@ pub fn run_campaign_events<S: EventSink>(
         trials.push(trial);
     }
     if S::ACTIVE {
-        sink.emit(Event::CampaignCompleted { trials: cfg.trials as u64 });
+        sink.emit(Event::CampaignCompleted {
+            trials: cfg.trials as u64,
+            dropped_events: sink.dropped(),
+        });
     }
     Ok(CampaignReport { trials, counts, clean_cycles: runner.clean_cycles(), recovery })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use emask_cc::MaskPolicy;

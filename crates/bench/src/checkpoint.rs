@@ -36,7 +36,7 @@ use crate::campaign::{
     outcome_from_name, CampaignConfig, CampaignReport, TrialRunner, OUTCOME_COUNT,
 };
 use emask_core::{MaskedDes, RunError};
-use emask_par::{run_sharded, Jobs};
+use emask_par::{run_sharded_cancellable, CancelToken, Interrupted, Jobs};
 use emask_telemetry::{CampaignTrial, Event, EventSink, NullSink, RecoveryTotals};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -66,6 +66,11 @@ pub enum CampaignError {
         /// Fingerprint stored in the file.
         found: u64,
     },
+    /// A cooperative [`CancelToken`] tripped mid-campaign (client cancel,
+    /// deadline, shutdown). Completed shards are persisted in the
+    /// checkpoint; rerunning with the same configuration resumes from
+    /// them and still yields a byte-identical report.
+    Interrupted(Interrupted),
 }
 
 impl fmt::Display for CampaignError {
@@ -82,6 +87,7 @@ impl fmt::Display for CampaignError {
                  delete it or rerun with the original settings",
                 path.display()
             ),
+            CampaignError::Interrupted(i) => write!(f, "campaign {i}"),
         }
     }
 }
@@ -92,7 +98,14 @@ impl std::error::Error for CampaignError {
             CampaignError::Run(e) => Some(e),
             CampaignError::Io { source, .. } => Some(source),
             CampaignError::Mismatch { .. } => None,
+            CampaignError::Interrupted(i) => Some(i),
         }
+    }
+}
+
+impl From<Interrupted> for CampaignError {
+    fn from(i: Interrupted) -> Self {
+        CampaignError::Interrupted(i)
     }
 }
 
@@ -327,6 +340,38 @@ pub fn run_campaign_resumable_events<S: EventSink>(
     path: &Path,
     sink: &S,
 ) -> Result<CampaignReport, CampaignError> {
+    match run_campaign_resumable_cancellable_events(des, cfg, jobs, path, &CancelToken::new(), sink)
+    {
+        Err(CampaignError::Interrupted(_)) => {
+            unreachable!("a private never-cancelled token cannot interrupt")
+        }
+        other => other,
+    }
+}
+
+/// [`run_campaign_resumable_events`] under a cooperative [`CancelToken`]:
+/// the token is checked at every trial boundary, so a trip (client
+/// cancel, deadline, shutdown) stops the campaign cleanly with
+/// [`CampaignError::Interrupted`]. Shards completed before the trip are
+/// already persisted in the checkpoint at `path` — the partial shard that
+/// was interrupted is discarded (its rows are recomputed on resume) —
+/// and rerunning with the same configuration resumes from the snapshot
+/// and produces a CSV and summary **byte-identical** to an uninterrupted
+/// run. This is the supervision entry point `emask-serve` drives.
+///
+/// # Errors
+///
+/// As for [`run_campaign_resumable_events`], plus
+/// [`CampaignError::Interrupted`] when the token trips before the last
+/// shard completes.
+pub fn run_campaign_resumable_cancellable_events<S: EventSink>(
+    des: &MaskedDes,
+    cfg: &CampaignConfig,
+    jobs: Jobs,
+    path: &Path,
+    token: &CancelToken,
+    sink: &S,
+) -> Result<CampaignReport, CampaignError> {
     let runner = TrialRunner::prepare(des, cfg)?;
     let fingerprint = config_fingerprint(cfg, runner.clean_cycles());
     let checkpoint = match CampaignCheckpoint::load(path)? {
@@ -349,14 +394,20 @@ pub fn run_campaign_resumable_events<S: EventSink>(
         });
     }
     let store = Mutex::new(checkpoint);
-    let records = run_sharded(jobs, cfg.trials, |shard, range| {
+    let sharded = run_sharded_cancellable(jobs, cfg.trials, token, |shard, range| {
         if let Some(rec) = store.lock().expect("checkpoint store").shards.get(&shard) {
-            return rec.clone();
+            return Ok(rec.clone());
         }
         let len = range.len();
         let mut trials = Vec::with_capacity(len);
         let mut recovery = RecoveryTotals::default();
-        for i in range {
+        for (done, i) in range.enumerate() {
+            // Trial-boundary cancellation: a tripped token discards this
+            // shard's partial rows (recomputed deterministically on
+            // resume) and reports how many trials it had folded.
+            if token.check().is_err() {
+                return Err(done);
+            }
             let (trial, _, stats) = runner.run_trial(i);
             if runner.recovery_enabled() {
                 recovery.absorb(stats.checkpoints, u64::from(stats.rollbacks), stats.pages_moved);
@@ -379,9 +430,18 @@ pub fn run_campaign_resumable_events<S: EventSink>(
             sink.emit(Event::CheckpointWritten { shards_done: guard.shards.len() as u64 });
             sink.emit(Event::ShardCompleted { shard: shard as u64, len: len as u64 });
         }
-        rec
+        Ok(rec)
     });
     let checkpoint = store.into_inner().expect("checkpoint store");
+    let records = match sharded {
+        Ok(records) => records,
+        Err(interrupted) => {
+            // Persist what completed so a resume skips it, then surface
+            // the trip as a typed error for the supervisor.
+            checkpoint.save(path)?;
+            return Err(CampaignError::Interrupted(interrupted));
+        }
+    };
     checkpoint.save(path)?;
 
     // Shards are contiguous ascending index ranges, so concatenating the
@@ -404,7 +464,10 @@ pub fn run_campaign_resumable_events<S: EventSink>(
         trials.extend(rec.trials);
     }
     if S::ACTIVE {
-        sink.emit(Event::CampaignCompleted { trials: cfg.trials as u64 });
+        sink.emit(Event::CampaignCompleted {
+            trials: cfg.trials as u64,
+            dropped_events: sink.dropped(),
+        });
     }
     Ok(CampaignReport { trials, counts, clean_cycles: runner.clean_cycles(), recovery })
 }
@@ -415,6 +478,7 @@ fn outcome_index(o: crate::FaultOutcome) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use emask_cc::MaskPolicy;
@@ -481,6 +545,101 @@ mod tests {
         assert_eq!(resumed.summary(), full.summary());
         assert_eq!(resumed.counts, full.counts);
         assert_eq!(resumed.recovery, full.recovery);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_campaign_persists_and_resumes_byte_identically() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        /// Trips the token after a fixed number of completed trials —
+        /// a deterministic stand-in for a client cancel / deadline.
+        struct CancelAfter<'a> {
+            token: &'a CancelToken,
+            seen: AtomicU64,
+            after: u64,
+        }
+        impl EventSink for CancelAfter<'_> {
+            fn emit(&self, event: Event) {
+                if matches!(event, Event::TrialCompleted { .. })
+                    && self.seen.fetch_add(1, Ordering::Relaxed) + 1 == self.after
+                {
+                    self.token.cancel(emask_par::CancelReason::Cancelled);
+                }
+            }
+        }
+
+        let des = small_des();
+        let cfg = CampaignConfig {
+            trials: 64,
+            recovery: Some(RecoveryPolicy::default()),
+            ..CampaignConfig::default()
+        };
+
+        // Reference: one uninterrupted run.
+        let ref_path = tmp_path("interrupt-ref");
+        let _ = std::fs::remove_file(&ref_path);
+        let full = run_campaign_resumable(&des, &cfg, Jobs::serial(), &ref_path).expect("full run");
+        let _ = std::fs::remove_file(&ref_path);
+
+        // Interrupted run: cancel after 10 trials, serial so the trip
+        // lands mid-campaign deterministically.
+        let path = tmp_path("interrupt");
+        let _ = std::fs::remove_file(&path);
+        let token = CancelToken::new();
+        let sink = CancelAfter { token: &token, seen: AtomicU64::new(0), after: 10 };
+        let err = run_campaign_resumable_cancellable_events(
+            &des,
+            &cfg,
+            Jobs::serial(),
+            &path,
+            &token,
+            &sink,
+        )
+        .expect_err("tripped token must interrupt");
+        let CampaignError::Interrupted(i) = &err else {
+            panic!("expected Interrupted, got {err}");
+        };
+        assert_eq!(i.reason, emask_par::CancelReason::Cancelled);
+        assert!(i.completed_trials < cfg.trials, "the interrupt landed mid-campaign");
+
+        // The checkpoint holds only fully completed shards…
+        let cp = CampaignCheckpoint::load(&path).expect("load").expect("present");
+        let persisted: usize = cp.shards.values().map(|r| r.trials.len()).sum();
+        assert!(persisted <= i.completed_trials, "partial shards are never persisted");
+
+        // …and a plain resume finishes the rest, byte-identically.
+        let resumed =
+            run_campaign_resumable(&des, &cfg, Jobs::new(4).expect("jobs"), &path).expect("resume");
+        assert_eq!(resumed.csv(), full.csv());
+        assert_eq!(resumed.summary(), full.summary());
+        assert_eq!(resumed.recovery, full.recovery);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pre_expired_deadline_interrupts_before_any_work() {
+        let des = small_des();
+        let cfg = CampaignConfig { trials: 16, ..CampaignConfig::default() };
+        let path = tmp_path("deadline");
+        let _ = std::fs::remove_file(&path);
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let err = run_campaign_resumable_cancellable_events(
+            &des,
+            &cfg,
+            Jobs::serial(),
+            &path,
+            &token,
+            &NullSink,
+        )
+        .expect_err("expired deadline must interrupt");
+        match err {
+            CampaignError::Interrupted(i) => {
+                assert_eq!(i.reason, emask_par::CancelReason::DeadlineExceeded);
+                assert_eq!(i.completed_trials, 0);
+            }
+            other => panic!("expected Interrupted, got {other}"),
+        }
         let _ = std::fs::remove_file(&path);
     }
 

@@ -735,6 +735,7 @@ pub fn ablations(rounds: usize) -> AblationReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -37,18 +37,21 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 pub mod campaign;
 pub mod checkpoint;
 pub mod experiments;
 pub mod live;
+pub mod service;
 
 pub use campaign::{
     run_campaign, run_campaign_events, run_campaign_par, CampaignConfig, CampaignReport,
     FaultOutcome, OUTCOME_COUNT,
 };
 pub use checkpoint::{
-    run_campaign_resumable, run_campaign_resumable_events, CampaignCheckpoint, CampaignError,
+    run_campaign_resumable, run_campaign_resumable_cancellable_events,
+    run_campaign_resumable_events, CampaignCheckpoint, CampaignError,
 };
 pub use experiments::{
     ablations, coupling_study, cpa_attack, cpa_attack_par, dpa_attack, dpa_attack_par,
@@ -56,4 +59,8 @@ pub use experiments::{
     plaintext_differential, policy_totals, spa_rounds, tvla, tvla_par, xor_unit, AblationReport,
     ClassEnergy, CouplingReport, CpaOutcome, DpaOutcome, PolicyTotals, SweepPoint, TvlaReport,
 };
-pub use live::{dpa_attack_convergence, leakage_attribution, tvla_convergence, LeakageComparison};
+pub use live::{
+    dpa_attack_convergence, dpa_attack_convergence_cancellable, leakage_attribution,
+    tvla_convergence, tvla_convergence_cancellable, LeakageComparison,
+};
+pub use service::BenchRunner;

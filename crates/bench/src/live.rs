@@ -16,13 +16,15 @@
 //! counterparts do.
 
 use crate::experiments::{compile, DpaOutcome, TvlaReport, KEY, PLAINTEXT};
-use emask_attack::dpa::{plaintext_for, recover_subkey_multibit_par_snapshotted, DpaConfig};
+use emask_attack::dpa::{
+    plaintext_for, recover_subkey_multibit_par_snapshotted_cancellable, DpaConfig,
+};
 use emask_attack::online::OnlineWelch;
 use emask_attack::progress::guess_ranks;
 use emask_core::{MaskPolicy, Phase};
 use emask_des::KeySchedule;
 use emask_energy::{LeakageProfile, LeakageProfiler};
-use emask_par::{run_sharded_snapshotted, trial_seed, Jobs};
+use emask_par::{run_sharded_snapshotted_cancellable, trial_seed, CancelToken, Interrupted, Jobs};
 use emask_telemetry::{Event, EventSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +46,46 @@ pub fn dpa_attack_convergence<S: EventSink>(
     cadence: usize,
     sink: &S,
 ) -> DpaOutcome {
+    match dpa_attack_convergence_cancellable(
+        policy,
+        rounds,
+        samples,
+        sbox,
+        jobs,
+        cadence,
+        &CancelToken::new(),
+        sink,
+    ) {
+        Ok(outcome) => outcome,
+        Err(_) => unreachable!("a private never-cancelled token cannot interrupt"),
+    }
+}
+
+/// [`dpa_attack_convergence`] under a cooperative [`CancelToken`]: the
+/// token is checked at every trial boundary, so a trip (client cancel,
+/// deadline, shutdown) stops the attack cleanly with a typed
+/// [`Interrupted`]. The replayable events emitted before the trip are a
+/// byte-identical prefix of the uninterrupted stream; no
+/// [`Event::CampaignCompleted`] trailer is emitted for an interrupted
+/// run — the supervisor's job-lifecycle events record the outcome
+/// instead. A rerun recomputes the same verdict from the same seeds, so
+/// retry-from-zero still satisfies the byte-identity contract.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] if the token trips before every trace has
+/// been folded.
+#[allow(clippy::too_many_arguments)]
+pub fn dpa_attack_convergence_cancellable<S: EventSink>(
+    policy: MaskPolicy,
+    rounds: usize,
+    samples: usize,
+    sbox: usize,
+    jobs: Jobs,
+    cadence: usize,
+    token: &CancelToken,
+    sink: &S,
+) -> Result<DpaOutcome, Interrupted> {
     let des = compile(policy, rounds);
     let window = des
         .encrypt(PLAINTEXT, KEY)
@@ -60,11 +102,12 @@ pub fn dpa_attack_convergence<S: EventSink>(
             cadence: cadence as u64,
         });
     }
-    let result = recover_subkey_multibit_par_snapshotted(
+    let result = recover_subkey_multibit_par_snapshotted_cancellable(
         &oracle,
         &cfg,
         jobs,
         cadence,
+        token,
         |trials, r| {
             if S::ACTIVE {
                 sink.emit(Event::DpaConvergence {
@@ -82,14 +125,17 @@ pub fn dpa_attack_convergence<S: EventSink>(
                 sink.emit(Event::TrialCompleted { trial: i as u64 });
             }
         },
-    );
+    )?;
     if S::ACTIVE {
-        sink.emit(Event::CampaignCompleted { trials: samples as u64 });
+        sink.emit(Event::CampaignCompleted {
+            trials: samples as u64,
+            dropped_events: sink.dropped(),
+        });
     }
     let true_subkey = KeySchedule::new(KEY).round_key(1).sbox_slice(sbox);
     let best = result.peaks[result.best_guess as usize];
     let recovered = result.best_guess == true_subkey && result.margin > 1.0 && best > 0.5;
-    DpaOutcome { true_subkey, result, recovered }
+    Ok(DpaOutcome { true_subkey, result, recovered })
 }
 
 /// Max |t|, its sample offset, and the count of samples over the 4.5
@@ -126,6 +172,40 @@ pub fn tvla_convergence<S: EventSink>(
     cadence: usize,
     sink: &S,
 ) -> TvlaReport {
+    match tvla_convergence_cancellable(
+        policy,
+        rounds,
+        group_size,
+        seed,
+        jobs,
+        cadence,
+        &CancelToken::new(),
+        sink,
+    ) {
+        Ok(report) => report,
+        Err(_) => unreachable!("a private never-cancelled token cannot interrupt"),
+    }
+}
+
+/// [`tvla_convergence`] under a cooperative [`CancelToken`] — the same
+/// trial-boundary cancellation contract as
+/// [`dpa_attack_convergence_cancellable`].
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] if the token trips before every trace pair
+/// has been folded.
+#[allow(clippy::too_many_arguments)]
+pub fn tvla_convergence_cancellable<S: EventSink>(
+    policy: MaskPolicy,
+    rounds: usize,
+    group_size: usize,
+    seed: u64,
+    jobs: Jobs,
+    cadence: usize,
+    token: &CancelToken,
+    sink: &S,
+) -> Result<TvlaReport, Interrupted> {
     let des = compile(policy, rounds);
     let probe = des.encrypt(PLAINTEXT, KEY).expect("probe");
     let start = probe.phase_window(Phase::KeyPermutation).expect("kp").start;
@@ -138,10 +218,11 @@ pub fn tvla_convergence<S: EventSink>(
             cadence: cadence as u64,
         });
     }
-    let acc = run_sharded_snapshotted(
+    let acc = run_sharded_snapshotted_cancellable(
         jobs,
         group_size,
         cadence,
+        token,
         OnlineWelch::new,
         |acc: &mut OnlineWelch, i| {
             let f = des.encrypt(PLAINTEXT, KEY).expect("fixed run");
@@ -165,13 +246,16 @@ pub fn tvla_convergence<S: EventSink>(
                 });
             }
         },
-    )
+    )?
     .unwrap_or_default();
     if S::ACTIVE {
-        sink.emit(Event::CampaignCompleted { trials: group_size as u64 });
+        sink.emit(Event::CampaignCompleted {
+            trials: group_size as u64,
+            dropped_events: sink.dropped(),
+        });
     }
     let (max_t, at_cycle, leaky_cycles) = welch_stats(&acc);
-    TvlaReport { max_t, at_cycle, leaky_cycles, group_size }
+    Ok(TvlaReport { max_t, at_cycle, leaky_cycles, group_size })
 }
 
 /// The per-instruction leakage attribution study: unmasked vs
@@ -249,6 +333,7 @@ pub fn leakage_attribution(rounds: usize, traces: usize, seed: u64) -> LeakageCo
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::experiments::{dpa_attack_par, tvla_par};
@@ -350,6 +435,72 @@ mod tests {
             })
             .collect();
         assert_eq!(snap_trials, vec![4, 8]);
+    }
+
+    #[test]
+    fn cancelled_dpa_convergence_streams_a_replayable_prefix() {
+        // Reference: the full uninterrupted replayable stream.
+        let full_sink = Collect::new();
+        dpa_attack_convergence(MaskPolicy::None, 1, 96, 0, Jobs::serial(), 32, &full_sink);
+        let full = full_sink.replayable_jsonl();
+
+        // Cancel from inside the snapshot ladder after the first snapshot.
+        let token = CancelToken::new();
+        let sink = Collect::new();
+        struct CancelOnSnapshot<'a> {
+            inner: &'a Collect,
+            token: &'a CancelToken,
+        }
+        impl EventSink for CancelOnSnapshot<'_> {
+            fn emit(&self, event: Event) {
+                let snap = matches!(event, Event::DpaConvergence { .. });
+                self.inner.emit(event);
+                if snap {
+                    self.token.cancel(emask_par::CancelReason::Cancelled);
+                }
+            }
+        }
+        let err = dpa_attack_convergence_cancellable(
+            MaskPolicy::None,
+            1,
+            96,
+            0,
+            Jobs::serial(),
+            32,
+            &token,
+            &CancelOnSnapshot { inner: &sink, token: &token },
+        )
+        .expect_err("tripped token must interrupt");
+        assert_eq!(err.reason, emask_par::CancelReason::Cancelled);
+
+        let prefix = sink.replayable_jsonl();
+        assert!(!prefix.is_empty());
+        assert!(
+            full.starts_with(&prefix),
+            "interrupted replayable stream must be a byte-identical prefix"
+        );
+        assert!(!prefix.contains("campaign_completed"), "no trailer on an interrupted run");
+    }
+
+    #[test]
+    fn uncancelled_tvla_cancellable_matches_plain() {
+        let plain =
+            tvla_convergence(MaskPolicy::None, 1, 8, 5, Jobs::new(4).unwrap(), 4, &NullSink);
+        let token = CancelToken::new();
+        let live = tvla_convergence_cancellable(
+            MaskPolicy::None,
+            1,
+            8,
+            5,
+            Jobs::new(4).unwrap(),
+            4,
+            &token,
+            &NullSink,
+        )
+        .expect("untripped token never interrupts");
+        assert_eq!(live.max_t.to_bits(), plain.max_t.to_bits());
+        assert_eq!(live.at_cycle, plain.at_cycle);
+        assert_eq!(live.leaky_cycles, plain.leaky_cycles);
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! The bench-side [`ExperimentRunner`]: maps `emask-serve` job specs
+//! onto the deterministic campaign drivers.
+//!
+//! This is the glue the `repro serve` subcommand installs. Every
+//! experiment goes through the *cancellable* driver variants, so the
+//! service's token actually stops work at trial boundaries; the fault
+//! campaign additionally runs through the PR-4 resumable checkpoint at
+//! the job's private `.ckpt` path, which is what makes
+//! shutdown→restart→resume byte-identical for long campaigns. Result
+//! CSVs are pure functions of the spec — the supervision history
+//! (cancelled, retried, resumed) never changes a byte of them.
+
+use crate::campaign::CampaignConfig;
+use crate::checkpoint::{run_campaign_resumable_cancellable_events, CampaignError};
+use crate::experiments::{KEY, PLAINTEXT};
+use crate::live;
+use emask_attack::cpa::{cpa_recover_subkey_par_cancellable, CpaConfig, CpaResult};
+use emask_core::{DesProgramSpec, MaskPolicy, MaskedDes, Phase, RecoveryPolicy};
+use emask_des::KeySchedule;
+use emask_par::Jobs;
+use emask_serve::{ExperimentRunner, JobCtx, JobSpec, RunStatus};
+use emask_telemetry::EventSink as _;
+
+/// The production runner behind `repro serve`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BenchRunner;
+
+/// The experiments the runner understands.
+const EXPERIMENTS: [&str; 5] = ["dpa", "cpa", "tvla", "fault", "leakage"];
+
+fn parse_policy(name: &str) -> Result<MaskPolicy, String> {
+    Ok(match name {
+        "none" => MaskPolicy::None,
+        "selective" => MaskPolicy::Selective,
+        "all-loads-stores" => MaskPolicy::AllLoadsStores,
+        "all-instructions" => MaskPolicy::AllInstructions,
+        other => {
+            return Err(format!(
+                "unknown policy '{other}' (none|selective|all-loads-stores|all-instructions)"
+            ))
+        }
+    })
+}
+
+/// Rough per-cycle trace length of a `rounds`-round encryption — only
+/// used to size accumulators for admission control, so generous is fine.
+fn trace_len_estimate(rounds: usize) -> u64 {
+    8_192 + 4_096 * rounds as u64
+}
+
+fn compile(policy: MaskPolicy, rounds: usize) -> Result<MaskedDes, String> {
+    MaskedDes::compile_spec(policy, &DesProgramSpec { rounds })
+        .map_err(|e| format!("device compile failed: {e}"))
+}
+
+/// The attack-result CSV shared by dpa and cpa: one row per subkey
+/// guess, then the verdict block. Pure function of the result.
+fn guesses_csv(
+    metric: &str,
+    peaks: &[f64; 64],
+    peak_cycles: &[usize; 64],
+    best_guess: u8,
+    margin: f64,
+    true_subkey: u8,
+    recovered: bool,
+) -> String {
+    let mut csv = format!("guess,{metric},peak_cycle\n");
+    for g in 0..64 {
+        csv.push_str(&format!("{g},{},{}\n", peaks[g], peak_cycles[g]));
+    }
+    csv.push_str(&format!(
+        "# best_guess,{best_guess}\n# margin,{margin}\n# true_subkey,{true_subkey}\n# recovered,{recovered}\n"
+    ));
+    csv
+}
+
+impl ExperimentRunner for BenchRunner {
+    fn admit(&self, spec: &JobSpec) -> Result<u64, String> {
+        if !EXPERIMENTS.contains(&spec.experiment.as_str()) {
+            return Err(format!(
+                "unknown experiment '{}' ({})",
+                spec.experiment,
+                EXPERIMENTS.join("|")
+            ));
+        }
+        parse_policy(&spec.policy)?;
+        if !(1..=16).contains(&spec.rounds) {
+            return Err("rounds must be in 1..=16".into());
+        }
+        if spec.trials == 0 {
+            return Err("trials must be positive".into());
+        }
+        if spec.sbox >= 8 {
+            return Err("sbox must be in 0..=7".into());
+        }
+        let len = trace_len_estimate(spec.rounds);
+        let f64s = std::mem::size_of::<f64>() as u64;
+        // Peak accumulator footprint per experiment; the dominant terms
+        // are the O(guesses × trace_len) difference/correlation arrays,
+        // multiplied by the worker count (each shard folds its own).
+        let workers = spec.jobs as u64;
+        Ok(match spec.experiment.as_str() {
+            // 64 guesses × (sum1, sum0, counts) per cycle.
+            "dpa" => 64 * len * 3 * f64s * workers,
+            // 64 guesses × (Σt, Σt², Σht) per cycle plus the h moments.
+            "cpa" => 64 * len * 3 * f64s * workers,
+            // Two Welford groups × (mean, m2) per cycle.
+            "tvla" => 2 * len * 2 * f64s * workers,
+            // One outcome record per trial plus the recovery journal.
+            "fault" => spec.trials as u64 * 128,
+            // Per-instruction profile, bounded by program length.
+            "leakage" => 1024 * 64,
+            _ => unreachable!("filtered above"),
+        })
+    }
+
+    fn run(&self, spec: &JobSpec, ctx: &JobCtx<'_>) -> RunStatus {
+        let policy = match parse_policy(&spec.policy) {
+            Ok(p) => p,
+            Err(reason) => return RunStatus::Failed { reason, transient: false },
+        };
+        let jobs = Jobs::new(spec.jobs).unwrap_or_else(Jobs::serial);
+        match spec.experiment.as_str() {
+            "fault" => {
+                let des = match compile(policy, spec.rounds) {
+                    Ok(d) => d,
+                    Err(reason) => return RunStatus::Failed { reason, transient: false },
+                };
+                let cfg = CampaignConfig {
+                    trials: spec.trials,
+                    plaintext: PLAINTEXT,
+                    key: KEY,
+                    recovery: spec.recover.then(RecoveryPolicy::default),
+                    ..CampaignConfig::default()
+                };
+                match run_campaign_resumable_cancellable_events(
+                    &des,
+                    &cfg,
+                    jobs,
+                    ctx.checkpoint,
+                    ctx.token,
+                    ctx.sink,
+                ) {
+                    Ok(report) => RunStatus::Done { csv: report.csv() },
+                    Err(CampaignError::Interrupted(i)) => RunStatus::Interrupted(i),
+                    // A torn/corrupt checkpoint heals on retry (the
+                    // campaign restarts from scratch deterministically);
+                    // IO errors are worth another attempt too.
+                    Err(e @ CampaignError::Io { .. }) => {
+                        RunStatus::Failed { reason: e.to_string(), transient: true }
+                    }
+                    Err(e) => RunStatus::Failed { reason: e.to_string(), transient: false },
+                }
+            }
+            "dpa" => {
+                let rounds = spec.rounds.min(4); // round 1 is all DPA needs
+                match live::dpa_attack_convergence_cancellable(
+                    policy,
+                    rounds,
+                    spec.trials,
+                    spec.sbox,
+                    jobs,
+                    spec.cadence,
+                    ctx.token,
+                    ctx.sink,
+                ) {
+                    Ok(outcome) => RunStatus::Done {
+                        csv: guesses_csv(
+                            "peak_pj",
+                            &outcome.result.peaks,
+                            &outcome.result.peak_cycles,
+                            outcome.result.best_guess,
+                            outcome.result.margin,
+                            outcome.true_subkey,
+                            outcome.recovered,
+                        ),
+                    },
+                    Err(i) => RunStatus::Interrupted(i),
+                }
+            }
+            "cpa" => {
+                let rounds = spec.rounds.min(4);
+                let des = match compile(policy, rounds) {
+                    Ok(d) => d,
+                    Err(reason) => return RunStatus::Failed { reason, transient: false },
+                };
+                let window = des
+                    .encrypt(PLAINTEXT, KEY)
+                    .expect("probe run")
+                    .phase_window(Phase::Round(1))
+                    .expect("round 1");
+                let oracle = des.trace_oracle(KEY, window);
+                let cfg = CpaConfig { samples: spec.trials, sbox: spec.sbox, seed: 0xCAFE };
+                match cpa_recover_subkey_par_cancellable(&oracle, &cfg, jobs, ctx.token) {
+                    Ok(result) => {
+                        let true_subkey = KeySchedule::new(KEY).round_key(1).sbox_slice(spec.sbox);
+                        let CpaResult { peaks, peak_cycles, best_guess, margin } = result;
+                        let best = peaks[best_guess as usize];
+                        let recovered = best_guess == true_subkey && margin > 1.0 && best > 0.2;
+                        RunStatus::Done {
+                            csv: guesses_csv(
+                                "peak_r",
+                                &peaks,
+                                &peak_cycles,
+                                best_guess,
+                                margin,
+                                true_subkey,
+                                recovered,
+                            ),
+                        }
+                    }
+                    Err(i) => RunStatus::Interrupted(i),
+                }
+            }
+            "tvla" => {
+                let rounds = spec.rounds.min(2);
+                match live::tvla_convergence_cancellable(
+                    policy,
+                    rounds,
+                    spec.trials,
+                    spec.seed,
+                    jobs,
+                    spec.cadence,
+                    ctx.token,
+                    ctx.sink,
+                ) {
+                    Ok(report) => RunStatus::Done {
+                        csv: format!(
+                            "group_size,max_t,at_cycle,leaky_cycles,leaking\n{},{},{},{},{}\n",
+                            report.group_size,
+                            report.max_t,
+                            report.at_cycle,
+                            report.leaky_cycles,
+                            report.max_t.abs() > 4.5,
+                        ),
+                    },
+                    Err(i) => RunStatus::Interrupted(i),
+                }
+            }
+            "leakage" => {
+                // Attribution is short and has no trial loop; honor the
+                // token at its one boundary (before the work).
+                if let Err(reason) = ctx.token.check() {
+                    return RunStatus::Interrupted(emask_par::Interrupted {
+                        reason,
+                        completed_trials: 0,
+                    });
+                }
+                let rounds = spec.rounds.min(2);
+                let traces = spec.trials.clamp(6, 48);
+                let cmp = live::leakage_attribution(rounds, traces, spec.seed);
+                ctx.sink.emit(emask_telemetry::Event::CampaignCompleted {
+                    trials: traces as u64,
+                    dropped_events: ctx.sink.dropped(),
+                });
+                RunStatus::Done { csv: cmp.csv }
+            }
+            other => RunStatus::Failed {
+                reason: format!("unknown experiment '{other}'"),
+                transient: false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use emask_par::CancelToken;
+    use emask_serve::JobSink;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("emask-bench-service-{}-{name}", std::process::id()))
+    }
+
+    fn run(spec: &JobSpec, tag: &str) -> RunStatus {
+        let events = tmp(&format!("{tag}.events"));
+        let ckpt = tmp(&format!("{tag}.ckpt"));
+        let _ = std::fs::remove_file(&events);
+        let _ = std::fs::remove_file(&ckpt);
+        let sink = JobSink::open(&events).unwrap();
+        let token = CancelToken::new();
+        let status =
+            BenchRunner.run(spec, &JobCtx { token: &token, sink: &sink, checkpoint: &ckpt });
+        let _ = std::fs::remove_file(&events);
+        let _ = std::fs::remove_file(&ckpt);
+        status
+    }
+
+    #[test]
+    fn admission_estimates_and_rejections() {
+        let r = BenchRunner;
+        assert!(r.admit(&JobSpec { experiment: "nope".into(), ..JobSpec::default() }).is_err());
+        assert!(r
+            .admit(&JobSpec {
+                experiment: "dpa".into(),
+                policy: "bogus".into(),
+                ..JobSpec::default()
+            })
+            .is_err());
+        assert!(r
+            .admit(&JobSpec { experiment: "dpa".into(), sbox: 8, ..JobSpec::default() })
+            .is_err());
+        let small = r
+            .admit(&JobSpec { experiment: "tvla".into(), rounds: 1, ..JobSpec::default() })
+            .unwrap();
+        let big = r
+            .admit(&JobSpec { experiment: "dpa".into(), rounds: 16, jobs: 8, ..JobSpec::default() })
+            .unwrap();
+        assert!(big > small, "dpa at 16 rounds x 8 workers dwarfs a 1-round tvla");
+    }
+
+    #[test]
+    fn fault_job_csv_matches_the_direct_campaign() {
+        let spec = JobSpec {
+            experiment: "fault".into(),
+            trials: 64,
+            rounds: 1,
+            recover: true,
+            ..JobSpec::default()
+        };
+        let RunStatus::Done { csv } = run(&spec, "fault") else {
+            panic!("fault job should complete")
+        };
+        // The same campaign, driven directly.
+        let des = compile(MaskPolicy::Selective, 1).unwrap();
+        let cfg = CampaignConfig {
+            trials: 64,
+            plaintext: PLAINTEXT,
+            key: KEY,
+            recovery: Some(RecoveryPolicy::default()),
+            ..CampaignConfig::default()
+        };
+        let report = crate::campaign::run_campaign_par(&des, &cfg, Jobs::serial()).unwrap();
+        assert_eq!(csv, report.csv(), "service supervision must not change a byte");
+    }
+
+    #[test]
+    fn tvla_job_reports_the_unmasked_leak() {
+        let spec = JobSpec {
+            experiment: "tvla".into(),
+            trials: 8,
+            rounds: 1,
+            policy: "none".into(),
+            seed: 11,
+            ..JobSpec::default()
+        };
+        let RunStatus::Done { csv } = run(&spec, "tvla") else {
+            panic!("tvla job should complete")
+        };
+        assert!(csv.starts_with("group_size,max_t,"), "got: {csv}");
+        assert!(csv.lines().count() == 2, "one header + one row: {csv}");
+    }
+
+    #[test]
+    fn pre_cancelled_job_interrupts_without_output() {
+        let events = tmp("cancelled.events");
+        let ckpt = tmp("cancelled.ckpt");
+        let _ = std::fs::remove_file(&events);
+        let sink = JobSink::open(&events).unwrap();
+        let token = CancelToken::new();
+        token.cancel(emask_par::CancelReason::Cancelled);
+        let spec =
+            JobSpec { experiment: "dpa".into(), trials: 64, rounds: 1, ..JobSpec::default() };
+        let status =
+            BenchRunner.run(&spec, &JobCtx { token: &token, sink: &sink, checkpoint: &ckpt });
+        assert!(matches!(status, RunStatus::Interrupted(i) if i.completed_trials == 0));
+        let _ = std::fs::remove_file(&events);
+    }
+}

@@ -71,7 +71,7 @@ fn golden_dpa_jsonl_schema_is_stable() {
         let ranks = line.split("\"ranks\":[").nth(1).expect("ranks array");
         assert_eq!(ranks.trim_end_matches("]}").split(',').count(), 64, "{line}");
     }
-    assert_eq!(lines[4], r#"{"event":"campaign_completed","trials":48}"#);
+    assert_eq!(lines[4], r#"{"event":"campaign_completed","trials":48,"dropped_events":0}"#);
 }
 
 #[test]

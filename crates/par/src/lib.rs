@@ -34,8 +34,170 @@ use std::any::Any;
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// Why a cancellable run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// A client (or the supervisor on its behalf) asked the run to stop.
+    Cancelled,
+    /// The run's wall-clock deadline expired.
+    DeadlineExceeded,
+    /// The process is shutting down; stop at the next trial boundary so
+    /// in-flight work can be checkpointed.
+    Shutdown,
+}
+
+impl CancelReason {
+    /// The stable report/event name (`cancelled`, `deadline_exceeded`,
+    /// `shutdown`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CancelReason::Cancelled => "cancelled",
+            CancelReason::DeadlineExceeded => "deadline_exceeded",
+            CancelReason::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Atomic encoding of "not cancelled" in [`CancelToken`].
+const LIVE: u8 = 0;
+
+/// A shared cooperative cancellation flag, checked at **trial
+/// boundaries** by the cancellable runners.
+///
+/// Cancellation is deliberately cooperative and coarse: a trial is the
+/// smallest unit of work the deterministic sharding layer accounts for,
+/// so stopping *between* trials means an interrupted campaign is always a
+/// clean prefix of shard work — resumable from a checkpoint, and
+/// guaranteed to produce byte-identical final output once re-run to
+/// completion (no trial is ever half-folded into an accumulator).
+///
+/// Clones share the flag; any clone can [`cancel`](CancelToken::cancel)
+/// and every holder observes it. An optional wall-clock deadline makes
+/// the token self-cancelling: [`check`](CancelToken::check) trips it with
+/// [`CancelReason::DeadlineExceeded`] once the deadline passes.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+#[derive(Debug, Default)]
+struct TokenInner {
+    /// `LIVE`, or a `CancelReason` discriminant + 1.
+    flag: AtomicU8,
+    /// Wall-clock instant after which `check` self-cancels.
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never cancels until [`cancel`](CancelToken::cancel)
+    /// is called.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally self-cancels (with
+    /// [`CancelReason::DeadlineExceeded`]) once `deadline` has elapsed
+    /// from now.
+    #[must_use]
+    pub fn with_deadline(deadline: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                flag: AtomicU8::new(LIVE),
+                deadline: Some(Instant::now() + deadline),
+            }),
+        }
+    }
+
+    /// Requests cancellation. The first reason wins: cancelling an
+    /// already-cancelled token does not overwrite the original reason.
+    pub fn cancel(&self, reason: CancelReason) {
+        let _ = self.inner.flag.compare_exchange(
+            LIVE,
+            reason as u8 + 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Whether the token has been cancelled (deadline included).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.check().is_err()
+    }
+
+    /// The cancellation reason, if any (deadline included).
+    #[must_use]
+    pub fn reason(&self) -> Option<CancelReason> {
+        self.check().err()
+    }
+
+    /// The trial-boundary check: `Ok(())` to keep going, `Err(reason)` to
+    /// stop. A passed deadline trips the token on first observation.
+    pub fn check(&self) -> Result<(), CancelReason> {
+        match self.inner.flag.load(Ordering::SeqCst) {
+            LIVE => {}
+            n => return Err(reason_from(n)),
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.cancel(CancelReason::DeadlineExceeded);
+                // Re-read: a concurrent explicit cancel may have won.
+                return Err(reason_from(self.inner.flag.load(Ordering::SeqCst)));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Decodes the non-`LIVE` flag values written by [`CancelToken::cancel`].
+fn reason_from(flag: u8) -> CancelReason {
+    match flag {
+        f if f == CancelReason::Cancelled as u8 + 1 => CancelReason::Cancelled,
+        f if f == CancelReason::DeadlineExceeded as u8 + 1 => CancelReason::DeadlineExceeded,
+        _ => CancelReason::Shutdown,
+    }
+}
+
+/// A cancellable run stopped at a trial boundary before completing.
+///
+/// `completed_trials` counts trials whose work is *known finished* at the
+/// moment the interruption surfaced — it depends on scheduling and is
+/// operational information (progress reporting, logs), not part of any
+/// deterministic result. The deterministic artifact of an interrupted run
+/// is whatever the caller checkpointed; re-running to completion from
+/// that checkpoint yields byte-identical final output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted {
+    /// Why the run stopped.
+    pub reason: CancelReason,
+    /// Trials known complete when the interruption surfaced.
+    pub completed_trials: usize,
+}
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "interrupted ({}) after {} completed trial(s)",
+            self.reason, self.completed_trials
+        )
+    }
+}
+
+impl std::error::Error for Interrupted {}
 
 /// Number of shards a trial range is cut into (when it has at least this
 /// many trials). Fixed — independent of the worker count — so the fold
@@ -195,6 +357,118 @@ where
         .collect()
 }
 
+/// Per-shard outcome of a cancellable run.
+enum ShardProgress<A> {
+    /// The shard ran every trial and produced its accumulator.
+    Completed(A),
+    /// The worker observed cancellation after completing this many of the
+    /// shard's trials; the partial accumulator was discarded.
+    Partial(usize),
+    /// The shard was never dispatched (cancellation observed first).
+    NotRun,
+}
+
+/// [`run_sharded`] with cooperative cancellation: the harness checks
+/// `token` before dispatching each shard, and the `worker` reports
+/// mid-shard interruption by returning `Err(trials_completed_in_shard)`
+/// (it is expected to call [`CancelToken::check`] at its own trial
+/// boundaries).
+///
+/// Returns the shard accumulators in shard order when every shard
+/// completed — cancellation requested *after* the last trial has no
+/// effect, so a finished run is always delivered. Otherwise returns a
+/// typed [`Interrupted`] carrying the reason and the number of trials
+/// known complete; the partial accumulators are discarded (interrupted
+/// campaigns persist progress through their own checkpoints, at shard
+/// granularity, not through this return value).
+///
+/// Worker panics propagate exactly as in [`run_sharded`]: every
+/// dispatched shard still runs (or observes cancellation), then the
+/// lowest-indexed panicking shard's payload is re-raised.
+///
+/// # Errors
+///
+/// [`Interrupted`] when cancellation stopped at least one shard short.
+pub fn run_sharded_cancellable<A, F>(
+    jobs: Jobs,
+    n: usize,
+    token: &CancelToken,
+    worker: F,
+) -> Result<Vec<A>, Interrupted>
+where
+    A: Send,
+    F: Fn(usize, Range<usize>) -> Result<A, usize> + Sync,
+{
+    type Caught<A> = Result<ShardProgress<A>, Box<dyn Any + Send>>;
+    let ranges = shard_ranges(n);
+    let run_one = |s: usize, range: Range<usize>| -> Caught<A> {
+        if token.check().is_err() {
+            return Ok(ShardProgress::NotRun);
+        }
+        catch_unwind(AssertUnwindSafe(|| match worker(s, range) {
+            Ok(acc) => ShardProgress::Completed(acc),
+            Err(done) => ShardProgress::Partial(done),
+        }))
+    };
+    let mut tagged: Vec<(usize, Caught<A>)> = if jobs.get() <= 1 || ranges.len() <= 1 {
+        ranges.iter().enumerate().map(|(s, r)| (s, run_one(s, r.clone()))).collect()
+    } else {
+        let threads = jobs.get().min(ranges.len());
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let s = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(range) = ranges.get(s) else { break };
+                            local.push((s, run_one(s, range.clone())));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(local) => local,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    };
+    tagged.sort_by_key(|&(s, _)| s);
+    // Deterministic panic propagation first, as in `run_sharded`.
+    let mut outcomes = Vec::with_capacity(tagged.len());
+    for (_, caught) in tagged {
+        match caught {
+            Ok(p) => outcomes.push(p),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    let complete = outcomes.iter().all(|p| matches!(p, ShardProgress::Completed(_)));
+    if complete {
+        return Ok(outcomes
+            .into_iter()
+            .map(|p| match p {
+                ShardProgress::Completed(a) => a,
+                _ => unreachable!("checked complete above"),
+            })
+            .collect());
+    }
+    let completed_trials = outcomes
+        .iter()
+        .zip(&ranges)
+        .map(|(p, r)| match p {
+            ShardProgress::Completed(_) => r.len(),
+            ShardProgress::Partial(done) => *done,
+            ShardProgress::NotRun => 0,
+        })
+        .sum();
+    Err(Interrupted { reason: token.reason().unwrap_or(CancelReason::Cancelled), completed_trials })
+}
+
 /// The trial-count boundaries at which [`run_sharded_snapshotted`] emits
 /// a merged snapshot: every positive multiple of `cadence` below `n`,
 /// plus `n` itself (`cadence == 0` means final-only).
@@ -264,6 +538,54 @@ where
     M: Fn(&mut A, &A) + Sync,
     E: Fn(usize, &A) + Sync,
 {
+    match run_sharded_snapshotted_cancellable(
+        jobs,
+        n,
+        cadence,
+        &CancelToken::new(),
+        init,
+        fold,
+        merge,
+        emit,
+    ) {
+        Ok(acc) => acc,
+        Err(_) => unreachable!("a private never-cancelled token cannot interrupt"),
+    }
+}
+
+/// [`run_sharded_snapshotted`] with cooperative cancellation: the harness
+/// checks `token` **before every trial**, so a cancel, deadline, or
+/// shutdown request stops the run at the next trial boundary.
+///
+/// On interruption the partial shard accumulators are discarded and a
+/// typed [`Interrupted`] is returned; the snapshots already emitted stand
+/// — they are complete prefixes of the deterministic stream, so an
+/// interrupted run's emissions are a byte-identical prefix of an
+/// uninterrupted run's. Cancellation requested after the last trial has
+/// folded (e.g. a deadline expiring during the final merge) has no
+/// effect: a finished run is always delivered.
+///
+/// # Errors
+///
+/// [`Interrupted`] when cancellation stopped at least one trial short.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_snapshotted_cancellable<A, I, F, M, E>(
+    jobs: Jobs,
+    n: usize,
+    cadence: usize,
+    token: &CancelToken,
+    init: I,
+    fold: F,
+    merge: M,
+    emit: E,
+) -> Result<Option<A>, Interrupted>
+where
+    A: Clone + Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize) + Sync,
+    M: Fn(&mut A, &A) + Sync,
+    E: Fn(usize, &A) + Sync,
+{
     let ranges = shard_ranges(n);
     let boundaries = snapshot_boundaries(n, cadence);
     let state = std::sync::Mutex::new(SnapState {
@@ -317,12 +639,22 @@ where
         }
     };
 
+    // Trials known folded — operational progress accounting for the
+    // `Interrupted` report, not part of any deterministic result.
+    let done = AtomicUsize::new(0);
     let run_shard = |s: usize, range: Range<usize>| {
         let mut acc = init();
         // First boundary past the shard's start.
         let mut bi = boundaries.partition_point(|&b| b <= range.start);
         for i in range.clone() {
+            // The trial-boundary cancellation point: an interrupted shard
+            // discards its partial accumulator (resumable campaigns
+            // persist completed work through their own checkpoints).
+            if token.check().is_err() {
+                return;
+            }
             fold(&mut acc, i);
+            done.fetch_add(1, Ordering::Relaxed);
             while bi < boundaries.len() && boundaries[bi] == i + 1 && boundaries[bi] < range.end {
                 let mut st = state.lock().expect("snapshot ledger poisoned");
                 st.partials.insert((bi, s), acc.clone());
@@ -363,7 +695,15 @@ where
     let mut st = state.lock().expect("snapshot ledger poisoned");
     let finals = std::mem::take(&mut st.finals);
     drop(st);
-    merge_shards(finals.into_iter().flatten().collect(), |a, b| merge(a, &b))
+    if finals.iter().any(Option::is_none) {
+        // At least one shard stopped short: the run is interrupted even
+        // if the token was cancelled a moment after other shards ended.
+        return Err(Interrupted {
+            reason: token.reason().unwrap_or(CancelReason::Cancelled),
+            completed_trials: done.load(Ordering::Relaxed),
+        });
+    }
+    Ok(merge_shards(finals.into_iter().flatten().collect(), |a, b| merge(a, &b)))
 }
 
 /// A trial that panicked inside [`catch_trial`], as data: the campaign
@@ -712,6 +1052,174 @@ mod tests {
         for (b, trials) in stream {
             assert_eq!(trials, (0..b).collect::<Vec<_>>(), "boundary {b}");
         }
+    }
+
+    #[test]
+    fn cancel_token_first_reason_wins() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.check(), Ok(()));
+        t.cancel(CancelReason::DeadlineExceeded);
+        t.cancel(CancelReason::Cancelled);
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+        // Clones share the flag.
+        let c = t.clone();
+        assert!(c.is_cancelled());
+        assert_eq!(CancelReason::Shutdown.name(), "shutdown");
+    }
+
+    #[test]
+    fn expired_deadline_trips_the_token() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert_eq!(t.check(), Err(CancelReason::DeadlineExceeded));
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+        // A generous deadline does not trip.
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert_eq!(t.check(), Ok(()));
+    }
+
+    #[test]
+    fn uncancelled_cancellable_run_matches_run_sharded() {
+        let worker = |_: usize, range: Range<usize>| range.map(|i| i * 3).sum::<usize>();
+        let plain = run_sharded(Jobs::new(4).expect("jobs"), 500, worker);
+        let token = CancelToken::new();
+        let cancellable =
+            run_sharded_cancellable(Jobs::new(4).expect("jobs"), 500, &token, |s, range| {
+                for _ in range.clone() {
+                    if token.check().is_err() {
+                        return Err(0);
+                    }
+                }
+                Ok(worker(s, range))
+            })
+            .expect("never cancelled");
+        assert_eq!(cancellable, plain);
+    }
+
+    #[test]
+    fn cancel_mid_shard_returns_a_typed_interrupt() {
+        for jobs in [1usize, 4] {
+            let token = CancelToken::new();
+            let folded = AtomicU64::new(0);
+            let err = run_sharded_cancellable(
+                Jobs::new(jobs).expect("jobs"),
+                1_000,
+                &token,
+                |_, range| {
+                    let mut local = 0usize;
+                    for _ in range {
+                        if token.check().is_err() {
+                            return Err(local);
+                        }
+                        local += 1;
+                        // Trip the token partway through the campaign.
+                        if folded.fetch_add(1, Ordering::Relaxed) == 99 {
+                            token.cancel(CancelReason::Cancelled);
+                        }
+                    }
+                    Ok(local)
+                },
+            )
+            .expect_err("must interrupt");
+            assert_eq!(err.reason, CancelReason::Cancelled, "jobs = {jobs}");
+            assert!(err.completed_trials >= 100 && err.completed_trials < 1_000, "{err}");
+            assert!(err.to_string().contains("cancelled"), "{err}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_run_completes_zero_trials() {
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Shutdown);
+        let err = run_sharded_cancellable(
+            Jobs::new(4).expect("jobs"),
+            200,
+            &token,
+            |_, _| -> Result<usize, usize> { panic!("no shard may run") },
+        )
+        .expect_err("pre-cancelled");
+        assert_eq!(err, Interrupted { reason: CancelReason::Shutdown, completed_trials: 0 });
+    }
+
+    #[test]
+    fn snapshotted_cancel_mid_run_interrupts_with_a_prefix_stream() {
+        // Reference: the full uninterrupted snapshot stream.
+        let (full, _) = snapshotted_fold(Jobs::new(4).expect("jobs"), 1000, 100);
+        for jobs in [1usize, 4] {
+            let token = CancelToken::new();
+            let stream = std::sync::Mutex::new(Vec::new());
+            let err = run_sharded_snapshotted_cancellable(
+                Jobs::new(jobs).expect("jobs"),
+                1000,
+                100,
+                &token,
+                || 0.1f64,
+                |acc, i| {
+                    *acc += (i as f64).sqrt() * 1e-3;
+                    *acc *= 1.000_000_1;
+                },
+                |a, b| *a = *a * 0.5 + b,
+                |b, snap: &f64| {
+                    stream.lock().expect("stream").push((b, snap.to_bits()));
+                    // Cancel as soon as the first snapshot lands.
+                    token.cancel(CancelReason::Cancelled);
+                },
+            )
+            .expect_err("must interrupt");
+            assert_eq!(err.reason, CancelReason::Cancelled);
+            assert!(err.completed_trials < 1000, "jobs = {jobs}: {err}");
+            // Whatever was emitted is a byte-identical prefix of the full
+            // deterministic stream.
+            let emitted = stream.into_inner().expect("stream");
+            assert!(!emitted.is_empty(), "the first snapshot emitted before the cancel");
+            assert_eq!(emitted[..], full[..emitted.len()], "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn cancel_during_merge_still_delivers_the_full_result() {
+        // "Deadline during merge": cancellation that lands after the last
+        // trial folded must not discard a complete run.
+        let (_, reference) = snapshotted_fold(Jobs::new(3).expect("jobs"), 500, 0);
+        let token = CancelToken::new();
+        let result = run_sharded_snapshotted_cancellable(
+            Jobs::new(3).expect("jobs"),
+            500,
+            0,
+            &token,
+            || 0.1f64,
+            |acc, i| {
+                *acc += (i as f64).sqrt() * 1e-3;
+                *acc *= 1.000_000_1;
+            },
+            |a, b| {
+                // Fires only during the final merge (cadence 0 emits the
+                // final snapshot after all folds are done).
+                token.cancel(CancelReason::DeadlineExceeded);
+                *a = *a * 0.5 + b
+            },
+            |_, _| {},
+        )
+        .expect("complete runs are always delivered");
+        assert_eq!(result.expect("non-empty").to_bits(), reference.expect("non-empty").to_bits());
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_the_snapshotted_run() {
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        let err = run_sharded_snapshotted_cancellable(
+            Jobs::new(4).expect("jobs"),
+            300,
+            50,
+            &token,
+            || 0u64,
+            |acc, i| *acc += i as u64,
+            |a, b| *a += b,
+            |_, _| {},
+        )
+        .expect_err("expired deadline");
+        assert_eq!(err.reason, CancelReason::DeadlineExceeded);
+        assert_eq!(err.completed_trials, 0);
     }
 
     #[test]

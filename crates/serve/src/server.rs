@@ -1,0 +1,232 @@
+//! The campaign service: a Unix-socket NDJSON protocol over the
+//! supervisor.
+//!
+//! One request per line, one JSON document per response line:
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"cmd":"submit","spec":{…}}` | `{"ok":true,"job":N}` or `{"ok":false,"kind":…,"error":…}` |
+//! | `{"cmd":"status"}` | `{"ok":true,"shutting_down":…,"jobs":[{"job":…,"experiment":…,"state":…,"attempt":…}]}` |
+//! | `{"cmd":"cancel","job":N}` | `{"ok":true}` |
+//! | `{"cmd":"watch","job":N}` | the job's event lines (history, then live), then `{"ok":true,"job":N,"state":…}` |
+//! | `{"cmd":"shutdown"}` | `{"ok":true}` — then the server drains and exits |
+//!
+//! SIGTERM is equivalent to `shutdown`: the accept loop stops admitting,
+//! the running job checkpoints and parks at its next trial boundary, the
+//! event files flush, and the process exits 0. A restarted server rescans
+//! the state directory and resumes parked jobs automatically.
+
+use crate::json::{escape, parse, Json};
+use crate::signal;
+use crate::spec::JobSpec;
+use crate::supervisor::{ExperimentRunner, Supervisor, SupervisorConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything `repro serve` configures.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The Unix socket path to listen on.
+    pub socket: PathBuf,
+    /// The job state directory (specs, events, checkpoints, results).
+    pub state_dir: PathBuf,
+    /// Max queued jobs before submissions bounce.
+    pub queue_depth: usize,
+    /// Per-job accumulator budget in bytes.
+    pub memory_budget: u64,
+}
+
+impl ServerConfig {
+    /// Defaults around a state directory: socket `<dir>/serve.sock`,
+    /// depth 32, budget 512 MiB.
+    #[must_use]
+    pub fn new(state_dir: PathBuf) -> Self {
+        let sup = SupervisorConfig::new(state_dir.clone());
+        ServerConfig {
+            socket: state_dir.join("serve.sock"),
+            state_dir,
+            queue_depth: sup.queue_depth,
+            memory_budget: sup.memory_budget,
+        }
+    }
+}
+
+fn ok_line(extra: &str) -> String {
+    if extra.is_empty() {
+        "{\"ok\":true}".to_string()
+    } else {
+        format!("{{\"ok\":true,{extra}}}")
+    }
+}
+
+fn err_line(kind: &str, error: &str) -> String {
+    format!("{{\"ok\":false,\"kind\":\"{}\",\"error\":\"{}\"}}", escape(kind), escape(error))
+}
+
+/// Runs the service until SIGTERM/SIGINT or a `shutdown` command, then
+/// drains gracefully. Blocks the calling thread.
+///
+/// # Errors
+///
+/// Setup failures (state dir, socket bind, rescan of corrupt state);
+/// per-connection errors are handled inline and never abort the server.
+pub fn serve<R: ExperimentRunner + 'static>(cfg: &ServerConfig, runner: R) -> Result<(), String> {
+    signal::install();
+    let sup_cfg = SupervisorConfig {
+        state_dir: cfg.state_dir.clone(),
+        queue_depth: cfg.queue_depth,
+        memory_budget: cfg.memory_budget,
+    };
+    let sup = Arc::new(Supervisor::new(sup_cfg, runner).map_err(|e| e.to_string())?);
+    let resumed = sup.rescan()?;
+    for id in &resumed {
+        eprintln!("emask-serve: resuming job {id}");
+    }
+    // A previous unclean exit may have left the socket file behind.
+    let _ = std::fs::remove_file(&cfg.socket);
+    let listener = UnixListener::bind(&cfg.socket).map_err(|e| e.to_string())?;
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+    let executor = std::thread::spawn({
+        let sup = Arc::clone(&sup);
+        move || sup.run_executor()
+    });
+    eprintln!("emask-serve: listening on {}", cfg.socket.display());
+    loop {
+        if signal::terminated() || sup.shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let sup = Arc::clone(&sup);
+                std::thread::spawn(move || handle_connection(stream, &sup));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => eprintln!("emask-serve: accept failed: {e}"),
+        }
+    }
+    eprintln!("emask-serve: draining for shutdown");
+    sup.begin_shutdown();
+    if executor.join().is_err() {
+        eprintln!("emask-serve: executor thread panicked during drain");
+    }
+    let _ = std::fs::remove_file(&cfg.socket);
+    eprintln!("emask-serve: shutdown complete");
+    Ok(())
+}
+
+fn handle_connection<R: ExperimentRunner>(stream: UnixStream, sup: &Supervisor<R>) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(e) => {
+            eprintln!("emask-serve: connection setup failed: {e}");
+            return;
+        }
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => return, // client went away
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let streamed = respond(&line, sup, &mut writer);
+        if streamed.is_err() {
+            return; // write side closed
+        }
+    }
+}
+
+/// Handles one request line; `watch` streams many lines, everything else
+/// writes exactly one.
+fn respond<R: ExperimentRunner>(
+    line: &str,
+    sup: &Supervisor<R>,
+    out: &mut UnixStream,
+) -> std::io::Result<()> {
+    let doc = match parse(line) {
+        Ok(d) => d,
+        Err(e) => return writeln!(out, "{}", err_line("protocol", &e.to_string())),
+    };
+    match doc.get("cmd").and_then(Json::as_str) {
+        Some("submit") => {
+            let reply = match doc.get("spec") {
+                None => err_line("spec", "submit requires a 'spec' member"),
+                Some(spec_doc) => match JobSpec::from_value(spec_doc) {
+                    Err(e) => err_line("spec", &e.to_string()),
+                    Ok(spec) => match sup.submit(spec) {
+                        Ok(id) => ok_line(&format!("\"job\":{id}")),
+                        Err(reject) => err_line(reject.kind(), &reject.to_string()),
+                    },
+                },
+            };
+            writeln!(out, "{reply}")
+        }
+        Some("status") => {
+            let rows: Vec<String> = sup
+                .status()
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"job\":{},\"experiment\":\"{}\",\"state\":\"{}\",\"attempt\":{}}}",
+                        s.id,
+                        escape(&s.experiment),
+                        s.state,
+                        s.attempt
+                    )
+                })
+                .collect();
+            writeln!(
+                out,
+                "{}",
+                ok_line(&format!(
+                    "\"shutting_down\":{},\"jobs\":[{}]",
+                    sup.shutting_down(),
+                    rows.join(",")
+                ))
+            )
+        }
+        Some("cancel") => {
+            let reply = match doc.get("job").and_then(Json::as_u64) {
+                None => err_line("protocol", "cancel requires a numeric 'job'"),
+                Some(id) => match sup.cancel(id) {
+                    Ok(()) => ok_line(""),
+                    Err(e) => err_line("cancel", &e),
+                },
+            };
+            writeln!(out, "{reply}")
+        }
+        Some("watch") => {
+            let Some(id) = doc.get("job").and_then(Json::as_u64) else {
+                return writeln!(out, "{}", err_line("protocol", "watch requires a numeric 'job'"));
+            };
+            match sup.subscribe(id) {
+                Err(e) => writeln!(out, "{}", err_line("watch", &e)),
+                Ok((snapshot, rx)) => {
+                    out.write_all(snapshot.as_bytes())?;
+                    out.flush()?;
+                    // Live until the sink disconnects (terminal state or
+                    // shutdown park).
+                    while let Ok(event_line) = rx.recv() {
+                        writeln!(out, "{event_line}")?;
+                    }
+                    let state =
+                        sup.job_state(id).map_or_else(|| "unknown".into(), |s| s.to_string());
+                    writeln!(out, "{}", ok_line(&format!("\"job\":{id},\"state\":\"{state}\"")))
+                }
+            }
+        }
+        Some("shutdown") => {
+            sup.begin_shutdown();
+            writeln!(out, "{}", ok_line("\"shutting_down\":true"))
+        }
+        Some(other) => writeln!(out, "{}", err_line("protocol", &format!("unknown cmd '{other}'"))),
+        None => writeln!(out, "{}", err_line("protocol", "request needs a string 'cmd'")),
+    }
+}

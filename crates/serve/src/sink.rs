@@ -1,0 +1,184 @@
+//! The per-job event sink: a JSONL file of record plus live fanout.
+//!
+//! Every job owns one append-only `job-<id>.events.jsonl`. Replayable
+//! events (the campaign's deterministic stream **and** the job-lifecycle
+//! events) are written to the file losslessly — appended across retries
+//! and resumes, the file is the job's full supervision history.
+//! Operational heartbeats are not persisted; they are forwarded
+//! best-effort to live subscribers (`watch` connections) through bounded
+//! channels, dropped and counted under backpressure — the same two-tier
+//! policy as [`emask_telemetry::EventBus`].
+
+use emask_telemetry::{Event, EventSink};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Mutex;
+
+/// Buffered lines per live subscriber before heartbeats start dropping.
+const SUBSCRIBER_DEPTH: usize = 256;
+
+struct SinkState {
+    file: File,
+    subscribers: Vec<SyncSender<String>>,
+}
+
+/// The per-job [`EventSink`]: lossless JSONL file + lossy live fanout.
+pub struct JobSink {
+    state: Mutex<SinkState>,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for JobSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSink").field("dropped", &self.dropped).finish_non_exhaustive()
+    }
+}
+
+impl JobSink {
+    /// Opens (appending) the job's event file.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the underlying IO error.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JobSink {
+            state: Mutex::new(SinkState { file, subscribers: Vec::new() }),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Registers a live subscriber: returns the channel end to stream
+    /// from, after `snapshot` receives everything already on disk. The
+    /// snapshot read and the registration happen under one lock, so no
+    /// event is missed or duplicated at the handoff.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the underlying IO error from the snapshot read.
+    pub fn subscribe(&self, path: &Path) -> std::io::Result<(String, Receiver<String>)> {
+        let mut st = self.state.lock().expect("job sink poisoned");
+        let snapshot = std::fs::read_to_string(path)?;
+        let (tx, rx) = sync_channel(SUBSCRIBER_DEPTH);
+        st.subscribers.push(tx);
+        Ok((snapshot, rx))
+    }
+
+    fn deliver(&self, line: &str, persist: bool) {
+        let mut st = self.state.lock().expect("job sink poisoned");
+        if persist {
+            // An unwritable event file is a lost history, not a lost
+            // campaign — the CSV/summary results don't pass through here.
+            // Surface it loudly on stderr rather than killing the job.
+            if let Err(e) = writeln!(st.file, "{line}") {
+                eprintln!("emask-serve: event file write failed: {e}");
+            }
+        }
+        let mut dropped = 0u64;
+        st.subscribers.retain(|tx| match tx.try_send(line.to_string()) {
+            Ok(()) => true,
+            // Replayable lines survive in the file either way; the shed
+            // live copy is still counted so drops are never silent.
+            Err(TrySendError::Full(_)) => {
+                dropped += 1;
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        });
+        drop(st);
+        if dropped > 0 {
+            self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every live subscriber (their streams end); the file stays
+    /// open for further appends.
+    pub fn disconnect_subscribers(&self) {
+        self.state.lock().expect("job sink poisoned").subscribers.clear();
+    }
+}
+
+impl EventSink for JobSink {
+    fn emit(&self, event: Event) {
+        let persist = event.is_replayable();
+        self.deliver(&event.to_json(), persist);
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("emask-serve-{}-{name}.jsonl", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn replayable_events_append_across_reopens() {
+        let path = tmp("append");
+        let _ = std::fs::remove_file(&path);
+        {
+            let sink = JobSink::open(&path).unwrap();
+            sink.emit(Event::JobQueued { job: 1, experiment: "fault".into(), trials: 4 });
+            sink.emit(Event::TrialCompleted { trial: 0 }); // operational: not persisted
+        }
+        {
+            let sink = JobSink::open(&path).unwrap();
+            sink.emit(Event::JobStarted { job: 1, attempt: 1 });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kinds: Vec<&str> = text
+            .lines()
+            .map(|l| {
+                let start = l.find("\"event\":\"").unwrap() + 9;
+                let rest = &l[start..];
+                &rest[..rest.find('"').unwrap()]
+            })
+            .collect();
+        assert_eq!(kinds, vec!["job_queued", "job_started"]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn subscribers_get_snapshot_then_live_events() {
+        let path = tmp("subscribe");
+        let _ = std::fs::remove_file(&path);
+        let sink = JobSink::open(&path).unwrap();
+        sink.emit(Event::JobQueued { job: 2, experiment: "tvla".into(), trials: 8 });
+        let (snapshot, rx) = sink.subscribe(&path).unwrap();
+        assert!(snapshot.contains("job_queued"));
+        sink.emit(Event::JobStarted { job: 2, attempt: 1 });
+        let live = rx.recv().unwrap();
+        assert!(live.contains("job_started"));
+        drop(rx);
+        // A disconnected subscriber is pruned on the next delivery.
+        sink.emit(Event::JobCompleted { job: 2, outcome: "completed".into() });
+        assert_eq!(sink.state.lock().unwrap().subscribers.len(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn slow_subscribers_shed_and_count() {
+        let path = tmp("shed");
+        let _ = std::fs::remove_file(&path);
+        let sink = JobSink::open(&path).unwrap();
+        let (_snapshot, rx) = sink.subscribe(&path).unwrap();
+        for t in 0..(SUBSCRIBER_DEPTH as u64 + 10) {
+            sink.emit(Event::TrialCompleted { trial: t });
+        }
+        assert_eq!(EventSink::dropped(&sink), 10, "overflow heartbeats are counted");
+        drop(rx);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,702 @@
+//! The supervised job executor: queue, admission, retry, cancellation,
+//! deadlines, and crash-safe state.
+//!
+//! ## State machine
+//!
+//! ```text
+//! submit ──▶ Queued ──▶ Running ──▶ Completed
+//!              │           │  ├────▶ Failed            (retries exhausted)
+//!              │           │  ├────▶ Cancelled         (client cancel)
+//!              │           │  ├────▶ DeadlineExceeded  (wall-clock budget)
+//!              ▼           │  └─ Interrupted(Shutdown) ─▶ Queued (resumes
+//!          Cancelled       │                               on restart)
+//!                          └─ transient failure ─▶ backoff ─▶ Running
+//! ```
+//!
+//! ## Durability layout
+//!
+//! Each job owns five files in the state directory, all keyed by id:
+//! `job-<id>.spec.json` (canonical spec), `job-<id>.events.jsonl`
+//! (replayable history, appended across retries/resumes),
+//! `job-<id>.ckpt` (the experiment's own checkpoint, e.g. the fault
+//! campaign snapshot), `job-<id>.csv` (final result), and `job-<id>.done`
+//! (terminal-state marker; its absence is what makes a job resumable).
+//! [`Supervisor::rescan`] rebuilds the queue from exactly these files, so
+//! a server killed at any point resumes its interrupted jobs
+//! automatically — and because every experiment is deterministic and
+//! fault campaigns resume from their checkpoint, the final CSV is
+//! byte-identical to an uninterrupted run.
+
+use crate::retry::RetryPolicy;
+use crate::sink::JobSink;
+use crate::spec::{JobSpec, SpecError};
+use emask_par::{CancelReason, CancelToken, Interrupted};
+use emask_telemetry::{Event, EventSink};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for the executor (also the parked state across a
+    /// shutdown/restart).
+    Queued,
+    /// The executor is running it.
+    Running,
+    /// Finished; the result CSV is on disk.
+    Completed,
+    /// Failed permanently (retries exhausted or permanent error).
+    Failed,
+    /// Cancelled by a client.
+    Cancelled,
+    /// Ran out of wall-clock budget.
+    DeadlineExceeded,
+}
+
+impl JobState {
+    /// Stable lowercase name, used on the wire and in the done marker.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+
+    /// Whether the job can never run again.
+    #[must_use]
+    pub fn terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "completed" => JobState::Completed,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            "deadline_exceeded" => JobState::DeadlineExceeded,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What one experiment attempt produced.
+#[derive(Debug)]
+pub enum RunStatus {
+    /// The experiment completed; `csv` is the deterministic result
+    /// document to persist.
+    Done {
+        /// The final CSV (byte-identical however the job was supervised).
+        csv: String,
+    },
+    /// The cooperative token tripped at a trial boundary.
+    Interrupted(Interrupted),
+    /// The experiment failed. `transient: true` failures are retried
+    /// within the job's budget; permanent ones fail the job immediately.
+    Failed {
+        /// Human-readable cause, recorded in the job history.
+        reason: String,
+        /// Whether a retry could plausibly succeed.
+        transient: bool,
+    },
+}
+
+/// Everything an [`ExperimentRunner`] gets from the supervisor.
+#[derive(Debug)]
+pub struct JobCtx<'a> {
+    /// Cooperative cancellation: checked by the experiment at trial
+    /// boundaries; tripped on client cancel, deadline, or shutdown.
+    pub token: &'a CancelToken,
+    /// Per-job event sink (replayable history + live fanout).
+    pub sink: &'a JobSink,
+    /// The job's private checkpoint path — persists across retries and
+    /// restarts, so resumable experiments continue instead of starting
+    /// over.
+    pub checkpoint: &'a Path,
+}
+
+/// The experiment side of the service: validates and sizes specs at
+/// admission, runs them under supervision.
+pub trait ExperimentRunner: Send + Sync {
+    /// Validates the spec and estimates its peak accumulator footprint in
+    /// bytes (the admission-control input).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the spec is not runnable at all
+    /// (unknown experiment, unusable sizing).
+    fn admit(&self, spec: &JobSpec) -> Result<u64, String>;
+
+    /// Runs (or resumes) the experiment. Must be deterministic: the same
+    /// spec must produce the same `csv` bytes no matter how often the run
+    /// is interrupted and resumed.
+    fn run(&self, spec: &JobSpec, ctx: &JobCtx<'_>) -> RunStatus;
+}
+
+/// Why a submission was turned away before touching the queue.
+#[derive(Debug)]
+pub enum RejectReason {
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// The queue is at capacity.
+    QueueFull {
+        /// The configured bound.
+        depth: usize,
+    },
+    /// The job's estimated accumulator footprint exceeds the budget.
+    Budget {
+        /// Runner's estimate for this spec, bytes.
+        estimated: u64,
+        /// Configured per-job budget, bytes.
+        budget: u64,
+    },
+    /// The runner rejected the spec outright.
+    Invalid(String),
+    /// The spec document itself was malformed.
+    Spec(SpecError),
+    /// Persisting the job failed.
+    Io(String),
+}
+
+impl RejectReason {
+    /// Stable machine-readable kind, used on the wire.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RejectReason::ShuttingDown => "shutting_down",
+            RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::Budget { .. } => "budget",
+            RejectReason::Invalid(_) => "invalid",
+            RejectReason::Spec(_) => "spec",
+            RejectReason::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::ShuttingDown => write!(f, "server is shutting down"),
+            RejectReason::QueueFull { depth } => write!(f, "queue full (depth {depth})"),
+            RejectReason::Budget { estimated, budget } => write!(
+                f,
+                "estimated accumulator footprint {estimated} B exceeds the per-job budget {budget} B"
+            ),
+            RejectReason::Invalid(reason) => write!(f, "unrunnable spec: {reason}"),
+            RejectReason::Spec(e) => write!(f, "{e}"),
+            RejectReason::Io(e) => write!(f, "could not persist job: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// One row of [`Supervisor::status`].
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: u64,
+    /// Experiment name.
+    pub experiment: String,
+    /// Current state.
+    pub state: JobState,
+    /// Attempts started so far (0 = not yet run).
+    pub attempt: u32,
+}
+
+/// Supervisor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Directory for specs, events, checkpoints, results, and markers.
+    pub state_dir: PathBuf,
+    /// Max jobs waiting in the queue before submissions bounce.
+    pub queue_depth: usize,
+    /// Per-job accumulator budget in bytes; the runner's estimate must
+    /// fit or the submission bounces with [`RejectReason::Budget`].
+    pub memory_budget: u64,
+}
+
+impl SupervisorConfig {
+    /// Defaults: depth 32, budget 512 MiB.
+    #[must_use]
+    pub fn new(state_dir: PathBuf) -> Self {
+        SupervisorConfig { state_dir, queue_depth: 32, memory_budget: 512 * 1024 * 1024 }
+    }
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    attempt: u32,
+    cancel_requested: bool,
+    token: Option<CancelToken>,
+    sink: Arc<JobSink>,
+}
+
+struct Inner {
+    jobs: BTreeMap<u64, JobRecord>,
+    pending: VecDeque<u64>,
+    next_id: u64,
+}
+
+/// The supervised campaign queue. One executor thread drains it
+/// ([`run_executor`](Supervisor::run_executor)); any number of protocol
+/// threads submit/cancel/observe.
+pub struct Supervisor<R> {
+    cfg: SupervisorConfig,
+    runner: R,
+    inner: Mutex<Inner>,
+    work: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl<R> fmt::Debug for Supervisor<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Supervisor").field("state_dir", &self.cfg.state_dir).finish_non_exhaustive()
+    }
+}
+
+impl<R: ExperimentRunner> Supervisor<R> {
+    /// Creates the supervisor (and its state directory).
+    ///
+    /// # Errors
+    ///
+    /// Forwards the directory-creation error.
+    pub fn new(cfg: SupervisorConfig, runner: R) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&cfg.state_dir)?;
+        Ok(Supervisor {
+            cfg,
+            runner,
+            inner: Mutex::new(Inner {
+                jobs: BTreeMap::new(),
+                pending: VecDeque::new(),
+                next_id: 1,
+            }),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    fn path(&self, id: u64, ext: &str) -> PathBuf {
+        self.cfg.state_dir.join(format!("job-{id}.{ext}"))
+    }
+
+    /// The job's result CSV path (exists once the job completes).
+    #[must_use]
+    pub fn csv_path(&self, id: u64) -> PathBuf {
+        self.path(id, "csv")
+    }
+
+    /// Rebuilds the queue from the state directory: every spec without a
+    /// done marker is re-enqueued (emitting [`Event::JobResumed`]); jobs
+    /// with a marker are registered in their terminal state so `status`
+    /// still reports them. Returns the resumed ids, ascending.
+    ///
+    /// # Errors
+    ///
+    /// Forwards directory/file IO errors; a malformed spec file is an
+    /// error too (state corruption should be loud, not silent).
+    pub fn rescan(&self) -> Result<Vec<u64>, String> {
+        let mut found: Vec<u64> = Vec::new();
+        let entries = std::fs::read_dir(&self.cfg.state_dir).map_err(|e| e.to_string())?;
+        for entry in entries {
+            let name = entry.map_err(|e| e.to_string())?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name.strip_prefix("job-").and_then(|r| r.strip_suffix(".spec.json")) {
+                found.push(id.parse::<u64>().map_err(|e| format!("bad job file {name}: {e}"))?);
+            }
+        }
+        found.sort_unstable();
+        let mut resumed = Vec::new();
+        let mut inner = self.inner.lock().expect("supervisor poisoned");
+        for id in found {
+            let text = std::fs::read_to_string(self.path(id, "spec.json"))
+                .map_err(|e| format!("job {id}: {e}"))?;
+            let spec = JobSpec::from_json(&text).map_err(|e| format!("job {id}: {e}"))?;
+            let sink = Arc::new(
+                JobSink::open(&self.path(id, "events.jsonl"))
+                    .map_err(|e| format!("job {id}: {e}"))?,
+            );
+            let state = match std::fs::read_to_string(self.path(id, "done")) {
+                Ok(marker) => JobState::from_name(marker.trim()).unwrap_or(JobState::Failed),
+                Err(_) => {
+                    sink.emit(Event::JobResumed { job: id });
+                    resumed.push(id);
+                    inner.pending.push_back(id);
+                    JobState::Queued
+                }
+            };
+            inner.jobs.insert(
+                id,
+                JobRecord { spec, state, attempt: 0, cancel_requested: false, token: None, sink },
+            );
+            inner.next_id = inner.next_id.max(id + 1);
+        }
+        drop(inner);
+        if !resumed.is_empty() {
+            self.work.notify_all();
+        }
+        Ok(resumed)
+    }
+
+    /// Admits a job: validates via the runner, checks queue depth and
+    /// memory budget, persists the spec, emits [`Event::JobQueued`], and
+    /// wakes the executor.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason`] — the typed admission verdict.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, RejectReason> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(RejectReason::ShuttingDown);
+        }
+        let estimated = self.runner.admit(&spec).map_err(RejectReason::Invalid)?;
+        if estimated > self.cfg.memory_budget {
+            return Err(RejectReason::Budget { estimated, budget: self.cfg.memory_budget });
+        }
+        let mut inner = self.inner.lock().expect("supervisor poisoned");
+        if inner.pending.len() >= self.cfg.queue_depth {
+            return Err(RejectReason::QueueFull { depth: self.cfg.queue_depth });
+        }
+        let id = inner.next_id;
+        std::fs::write(self.path(id, "spec.json"), spec.to_json())
+            .map_err(|e| RejectReason::Io(e.to_string()))?;
+        let sink = Arc::new(
+            JobSink::open(&self.path(id, "events.jsonl"))
+                .map_err(|e| RejectReason::Io(e.to_string()))?,
+        );
+        sink.emit(Event::JobQueued {
+            job: id,
+            experiment: spec.experiment.clone(),
+            trials: spec.trials as u64,
+        });
+        inner.next_id = id + 1;
+        inner.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                state: JobState::Queued,
+                attempt: 0,
+                cancel_requested: false,
+                token: None,
+                sink,
+            },
+        );
+        inner.pending.push_back(id);
+        drop(inner);
+        self.work.notify_all();
+        Ok(id)
+    }
+
+    /// Cancels a job: a running job's token trips (it stops at the next
+    /// trial boundary); a queued job is cancelled in place.
+    ///
+    /// # Errors
+    ///
+    /// A description when the job is unknown or already terminal.
+    pub fn cancel(&self, id: u64) -> Result<(), String> {
+        let mut inner = self.inner.lock().expect("supervisor poisoned");
+        let rec = inner.jobs.get_mut(&id).ok_or_else(|| format!("unknown job {id}"))?;
+        if rec.state.terminal() {
+            return Err(format!("job {id} is already {}", rec.state));
+        }
+        rec.cancel_requested = true;
+        if let Some(token) = &rec.token {
+            token.cancel(CancelReason::Cancelled);
+            return Ok(());
+        }
+        if rec.state == JobState::Queued {
+            // Not running: finalize right here.
+            rec.state = JobState::Cancelled;
+            let sink = Arc::clone(&rec.sink);
+            inner.pending.retain(|&p| p != id);
+            drop(inner);
+            sink.emit(Event::JobCancelled { job: id });
+            self.finish_files(id, JobState::Cancelled, &sink);
+        }
+        Ok(())
+    }
+
+    /// A snapshot of every known job, ascending by id.
+    #[must_use]
+    pub fn status(&self) -> Vec<JobStatus> {
+        let inner = self.inner.lock().expect("supervisor poisoned");
+        inner
+            .jobs
+            .iter()
+            .map(|(&id, rec)| JobStatus {
+                id,
+                experiment: rec.spec.experiment.clone(),
+                state: rec.state,
+                attempt: rec.attempt,
+            })
+            .collect()
+    }
+
+    /// Subscribes to a job's event stream: everything already recorded,
+    /// then live events until the job reaches a terminal state.
+    ///
+    /// # Errors
+    ///
+    /// A description when the job is unknown or its history unreadable.
+    pub fn subscribe(&self, id: u64) -> Result<(String, Receiver<String>), String> {
+        let inner = self.inner.lock().expect("supervisor poisoned");
+        let rec = inner.jobs.get(&id).ok_or_else(|| format!("unknown job {id}"))?;
+        let sink = Arc::clone(&rec.sink);
+        let terminal = rec.state.terminal();
+        drop(inner);
+        let (snapshot, rx) =
+            sink.subscribe(&self.path(id, "events.jsonl")).map_err(|e| e.to_string())?;
+        if terminal {
+            // Nothing further will arrive; end the live stream at once.
+            sink.disconnect_subscribers();
+        }
+        Ok((snapshot, rx))
+    }
+
+    /// Current state of one job.
+    #[must_use]
+    pub fn job_state(&self, id: u64) -> Option<JobState> {
+        self.inner.lock().expect("supervisor poisoned").jobs.get(&id).map(|r| r.state)
+    }
+
+    /// Starts graceful shutdown: no new admissions, the running job's
+    /// token trips with [`CancelReason::Shutdown`], the executor drains
+    /// and parks everything else for the next start.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let inner = self.inner.lock().expect("supervisor poisoned");
+        for rec in inner.jobs.values() {
+            if let Some(token) = &rec.token {
+                token.cancel(CancelReason::Shutdown);
+            }
+        }
+        drop(inner);
+        self.work.notify_all();
+    }
+
+    /// Whether [`begin_shutdown`](Supervisor::begin_shutdown) has run.
+    #[must_use]
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The executor loop: runs queued jobs until shutdown. Call from a
+    /// dedicated thread; returns once shutdown is requested and the
+    /// in-flight job (if any) has parked or finished.
+    pub fn run_executor(&self) {
+        loop {
+            let id = {
+                let mut inner = self.inner.lock().expect("supervisor poisoned");
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Some(id) = inner.pending.pop_front() {
+                        // Jobs cancelled while queued are already terminal.
+                        if inner.jobs.get(&id).is_some_and(|r| !r.state.terminal()) {
+                            break id;
+                        }
+                        continue;
+                    }
+                    inner = self.work.wait(inner).expect("supervisor poisoned");
+                }
+            };
+            self.run_job(id);
+        }
+    }
+
+    fn finish_files(&self, id: u64, state: JobState, sink: &JobSink) {
+        if let Err(e) = std::fs::write(self.path(id, "done"), state.name()) {
+            eprintln!("emask-serve: job {id}: could not write done marker: {e}");
+        }
+        sink.disconnect_subscribers();
+    }
+
+    fn finish(&self, id: u64, state: JobState, event: Event) {
+        let mut inner = self.inner.lock().expect("supervisor poisoned");
+        let Some(rec) = inner.jobs.get_mut(&id) else { return };
+        rec.state = state;
+        rec.token = None;
+        let sink = Arc::clone(&rec.sink);
+        drop(inner);
+        sink.emit(event);
+        self.finish_files(id, state, &sink);
+    }
+
+    /// Parks a job for the next server start (shutdown path): state back
+    /// to queued, no done marker, history keeps its events.
+    fn park(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("supervisor poisoned");
+        if let Some(rec) = inner.jobs.get_mut(&id) {
+            rec.state = JobState::Queued;
+            rec.token = None;
+            // End live watch streams; watchers reconnect after restart.
+            rec.sink.disconnect_subscribers();
+        }
+        inner.pending.push_front(id);
+    }
+
+    fn run_job(&self, id: u64) {
+        let (spec, sink) = {
+            let mut inner = self.inner.lock().expect("supervisor poisoned");
+            let Some(rec) = inner.jobs.get_mut(&id) else { return };
+            rec.state = JobState::Running;
+            (rec.spec.clone(), Arc::clone(&rec.sink))
+        };
+        let policy = RetryPolicy {
+            max_retries: spec.max_retries,
+            base_ms: spec.backoff_ms,
+            ..RetryPolicy::default()
+        };
+        let started = Instant::now();
+        let ckpt = self.path(id, "ckpt");
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            {
+                let mut inner = self.inner.lock().expect("supervisor poisoned");
+                if let Some(rec) = inner.jobs.get_mut(&id) {
+                    rec.attempt = attempt;
+                }
+            }
+            // The deadline is a whole-job wall-clock budget: each attempt
+            // gets whatever remains of it.
+            let token = match spec.deadline_ms {
+                Some(ms) => {
+                    let total = Duration::from_millis(ms);
+                    let elapsed = started.elapsed();
+                    if elapsed >= total {
+                        self.finish(
+                            id,
+                            JobState::DeadlineExceeded,
+                            Event::JobDeadlineExceeded { job: id },
+                        );
+                        return;
+                    }
+                    CancelToken::with_deadline(total - elapsed)
+                }
+                None => CancelToken::new(),
+            };
+            {
+                let mut inner = self.inner.lock().expect("supervisor poisoned");
+                let Some(rec) = inner.jobs.get_mut(&id) else { return };
+                if rec.cancel_requested {
+                    drop(inner);
+                    self.finish(id, JobState::Cancelled, Event::JobCancelled { job: id });
+                    return;
+                }
+                rec.token = Some(token.clone());
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                // Lost the race with begin_shutdown after it swept tokens.
+                self.park(id);
+                return;
+            }
+            sink.emit(Event::JobStarted { job: id, attempt: u64::from(attempt) });
+            let ctx = JobCtx { token: &token, sink: &sink, checkpoint: &ckpt };
+            let status = catch_unwind(AssertUnwindSafe(|| self.runner.run(&spec, &ctx)));
+            {
+                let mut inner = self.inner.lock().expect("supervisor poisoned");
+                if let Some(rec) = inner.jobs.get_mut(&id) {
+                    rec.token = None;
+                }
+            }
+            let (reason, transient) = match status {
+                Ok(RunStatus::Done { csv }) => {
+                    if let Err(e) = std::fs::write(self.csv_path(id), csv) {
+                        ("result write failed: ".to_string() + &e.to_string(), false)
+                    } else {
+                        self.finish(
+                            id,
+                            JobState::Completed,
+                            Event::JobCompleted { job: id, outcome: "completed".into() },
+                        );
+                        return;
+                    }
+                }
+                Ok(RunStatus::Interrupted(i)) => match i.reason {
+                    CancelReason::Cancelled => {
+                        self.finish(id, JobState::Cancelled, Event::JobCancelled { job: id });
+                        return;
+                    }
+                    CancelReason::DeadlineExceeded => {
+                        self.finish(
+                            id,
+                            JobState::DeadlineExceeded,
+                            Event::JobDeadlineExceeded { job: id },
+                        );
+                        return;
+                    }
+                    CancelReason::Shutdown => {
+                        self.park(id);
+                        return;
+                    }
+                },
+                Ok(RunStatus::Failed { reason, transient }) => (reason, transient),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".into());
+                    (format!("worker panic: {msg}"), true)
+                }
+            };
+            if !transient || !policy.allows(attempt) {
+                eprintln!("emask-serve: job {id} failed permanently: {reason}");
+                self.finish(
+                    id,
+                    JobState::Failed,
+                    Event::JobCompleted { job: id, outcome: "failed".into() },
+                );
+                return;
+            }
+            let backoff = policy.backoff_ms(attempt);
+            sink.emit(Event::JobRetried {
+                job: id,
+                attempt: u64::from(attempt + 1),
+                backoff_ms: backoff,
+            });
+            // Sleep in slices so shutdown and cancel stay responsive.
+            let wake = Instant::now() + Duration::from_millis(backoff);
+            loop {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    self.park(id);
+                    return;
+                }
+                let cancelled = {
+                    let inner = self.inner.lock().expect("supervisor poisoned");
+                    inner.jobs.get(&id).is_some_and(|r| r.cancel_requested)
+                };
+                if cancelled {
+                    self.finish(id, JobState::Cancelled, Event::JobCancelled { job: id });
+                    return;
+                }
+                let now = Instant::now();
+                if now >= wake {
+                    break;
+                }
+                std::thread::sleep((wake - now).min(Duration::from_millis(10)));
+            }
+        }
+    }
+}

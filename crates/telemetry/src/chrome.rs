@@ -161,6 +161,7 @@ impl RunObserver for ChromeTrace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

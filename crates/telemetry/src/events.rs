@@ -93,6 +93,64 @@ pub enum Event {
     CampaignCompleted {
         /// Total trials run.
         trials: u64,
+        /// Operational events dropped under backpressure by the sink
+        /// during this campaign, as observed at trailer-emission time
+        /// (see [`EventSink::dropped`]). Zero whenever the consumer kept
+        /// up — the stream stays byte-identical across `--jobs` counts in
+        /// that (normal) case, and a nonzero value is precisely the
+        /// signal that heartbeats were silently shed.
+        dropped_events: u64,
+    },
+    /// Replayable job-lifecycle event: the job entered the service queue.
+    JobQueued {
+        /// Service-assigned job id.
+        job: u64,
+        /// Experiment name (`"dpa"`, `"tvla"`, `"fault"`, …).
+        experiment: String,
+        /// Total trial count the job will run.
+        trials: u64,
+    },
+    /// Replayable job-lifecycle event: an execution attempt began.
+    JobStarted {
+        /// Service-assigned job id.
+        job: u64,
+        /// 1-based attempt number (1 = first execution).
+        attempt: u64,
+    },
+    /// Replayable job-lifecycle event: the previous attempt died (worker
+    /// panic, checkpoint corruption restart, transient IO) and the job
+    /// will re-run after a deterministic backoff.
+    JobRetried {
+        /// Service-assigned job id.
+        job: u64,
+        /// 1-based attempt number of the attempt about to start.
+        attempt: u64,
+        /// Deterministic exponential backoff slept before the retry.
+        backoff_ms: u64,
+    },
+    /// Replayable job-lifecycle event: a client cancelled the job.
+    JobCancelled {
+        /// Service-assigned job id.
+        job: u64,
+    },
+    /// Replayable job-lifecycle event: the job's deadline expired.
+    JobDeadlineExceeded {
+        /// Service-assigned job id.
+        job: u64,
+    },
+    /// Replayable job-lifecycle event: a restarted server picked the job
+    /// back up from its checkpoint.
+    JobResumed {
+        /// Service-assigned job id.
+        job: u64,
+    },
+    /// Replayable job-lifecycle event: the job reached a terminal state.
+    JobCompleted {
+        /// Service-assigned job id.
+        job: u64,
+        /// Terminal outcome: `"completed"`, `"failed"`, `"cancelled"`,
+        /// or `"deadline_exceeded"`.
+        outcome: String,
     },
     /// Operational: one trial finished on some worker.
     TrialCompleted {
@@ -130,6 +188,13 @@ impl Event {
                 | Event::TvlaConvergence { .. }
                 | Event::FaultOutcome { .. }
                 | Event::CampaignCompleted { .. }
+                | Event::JobQueued { .. }
+                | Event::JobStarted { .. }
+                | Event::JobRetried { .. }
+                | Event::JobCancelled { .. }
+                | Event::JobDeadlineExceeded { .. }
+                | Event::JobResumed { .. }
+                | Event::JobCompleted { .. }
         )
     }
 
@@ -142,6 +207,13 @@ impl Event {
             Event::TvlaConvergence { .. } => "tvla_convergence",
             Event::FaultOutcome { .. } => "fault_outcome",
             Event::CampaignCompleted { .. } => "campaign_completed",
+            Event::JobQueued { .. } => "job_queued",
+            Event::JobStarted { .. } => "job_started",
+            Event::JobRetried { .. } => "job_retried",
+            Event::JobCancelled { .. } => "job_cancelled",
+            Event::JobDeadlineExceeded { .. } => "job_deadline_exceeded",
+            Event::JobResumed { .. } => "job_resumed",
+            Event::JobCompleted { .. } => "job_completed",
             Event::TrialCompleted { .. } => "trial_completed",
             Event::ShardCompleted { .. } => "shard_completed",
             Event::CheckpointWritten { .. } => "checkpoint_written",
@@ -187,8 +259,29 @@ impl Event {
             Event::FaultOutcome { trial, outcome } => {
                 let _ = write!(s, r#","trial":{trial},"outcome":"{}""#, escape_json(outcome));
             }
-            Event::CampaignCompleted { trials } => {
-                let _ = write!(s, r#","trials":{trials}"#);
+            Event::CampaignCompleted { trials, dropped_events } => {
+                let _ = write!(s, r#","trials":{trials},"dropped_events":{dropped_events}"#);
+            }
+            Event::JobQueued { job, experiment, trials } => {
+                let _ = write!(
+                    s,
+                    r#","job":{job},"experiment":"{}","trials":{trials}"#,
+                    escape_json(experiment)
+                );
+            }
+            Event::JobStarted { job, attempt } => {
+                let _ = write!(s, r#","job":{job},"attempt":{attempt}"#);
+            }
+            Event::JobRetried { job, attempt, backoff_ms } => {
+                let _ = write!(s, r#","job":{job},"attempt":{attempt},"backoff_ms":{backoff_ms}"#);
+            }
+            Event::JobCancelled { job }
+            | Event::JobDeadlineExceeded { job }
+            | Event::JobResumed { job } => {
+                let _ = write!(s, r#","job":{job}"#);
+            }
+            Event::JobCompleted { job, outcome } => {
+                let _ = write!(s, r#","job":{job},"outcome":"{}""#, escape_json(outcome));
             }
             Event::TrialCompleted { trial } => {
                 let _ = write!(s, r#","trial":{trial}"#);
@@ -225,6 +318,14 @@ pub trait EventSink: Sync {
     /// [`EventBus`](crate::stream::EventBus) for the bounded
     /// backpressure-aware implementation.
     fn emit(&self, event: Event);
+
+    /// Operational events this sink has shed under backpressure so far.
+    /// Lossless sinks (the default) report 0; campaign drivers fold the
+    /// value into their `campaign_completed` trailer so silent drops are
+    /// visible in the stream itself.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// The discarding sink: `ACTIVE = false`, so guarded emission sites
@@ -244,9 +345,14 @@ impl<S: EventSink> EventSink for &S {
     fn emit(&self, event: Event) {
         (**self).emit(event);
     }
+
+    fn dropped(&self) -> u64 {
+        (**self).dropped()
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -264,7 +370,14 @@ mod tests {
             },
             Event::TvlaConvergence { trials: 4, max_t: 9.5, at_cycle: 2, leaky_cycles: 6 },
             Event::FaultOutcome { trial: 3, outcome: "detected".into() },
-            Event::CampaignCompleted { trials: 8 },
+            Event::CampaignCompleted { trials: 8, dropped_events: 0 },
+            Event::JobQueued { job: 1, experiment: "fault".into(), trials: 8 },
+            Event::JobStarted { job: 1, attempt: 1 },
+            Event::JobRetried { job: 1, attempt: 2, backoff_ms: 250 },
+            Event::JobCancelled { job: 1 },
+            Event::JobDeadlineExceeded { job: 1 },
+            Event::JobResumed { job: 1 },
+            Event::JobCompleted { job: 1, outcome: "completed".into() },
         ];
         let operational = [
             Event::TrialCompleted { trial: 0 },
@@ -316,7 +429,14 @@ mod tests {
             },
             Event::TvlaConvergence { trials: 1, max_t: 0.0, at_cycle: 0, leaky_cycles: 0 },
             Event::FaultOutcome { trial: 0, outcome: "no-effect".into() },
-            Event::CampaignCompleted { trials: 1 },
+            Event::CampaignCompleted { trials: 1, dropped_events: 0 },
+            Event::JobQueued { job: 0, experiment: "dpa".into(), trials: 1 },
+            Event::JobStarted { job: 0, attempt: 1 },
+            Event::JobRetried { job: 0, attempt: 2, backoff_ms: 0 },
+            Event::JobCancelled { job: 0 },
+            Event::JobDeadlineExceeded { job: 0 },
+            Event::JobResumed { job: 0 },
+            Event::JobCompleted { job: 0, outcome: "failed".into() },
             Event::TrialCompleted { trial: 0 },
             Event::ShardCompleted { shard: 0, len: 1 },
             Event::CheckpointWritten { shards_done: 1 },

@@ -434,6 +434,7 @@ pub fn recovery_coverage(trials: &[CampaignTrial]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::metrics::MetricsRegistry;

@@ -467,6 +467,7 @@ impl RunObserver for MetricsRegistry {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

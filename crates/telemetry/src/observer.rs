@@ -99,6 +99,7 @@ impl<A: RunObserver, B: RunObserver> RunObserver for (A, B) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use emask_energy::ComponentEnergy;

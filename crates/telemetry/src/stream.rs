@@ -157,9 +157,15 @@ impl EventSink for EventBus {
             self.try_emit(event);
         }
     }
+
+    /// Operational events dropped under backpressure so far.
+    fn dropped(&self) -> u64 {
+        EventBus::dropped(self)
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::thread;
@@ -196,11 +202,11 @@ mod tests {
     #[test]
     fn blocking_emit_waits_for_the_consumer() {
         let bus = EventBus::new(1);
-        bus.emit(Event::CampaignCompleted { trials: 1 });
+        bus.emit(Event::CampaignCompleted { trials: 1, dropped_events: 0 });
         thread::scope(|scope| {
             scope.spawn(|| {
                 // Blocks until the consumer below makes space.
-                bus.emit(Event::CampaignCompleted { trials: 2 });
+                bus.emit(Event::CampaignCompleted { trials: 2, dropped_events: 0 });
                 bus.close();
             });
             let mut buf = Vec::new();
@@ -213,18 +219,48 @@ mod tests {
     #[test]
     fn close_unblocks_producers_and_ends_the_consumer() {
         let bus = EventBus::new(1);
-        bus.emit(Event::CampaignCompleted { trials: 1 });
+        bus.emit(Event::CampaignCompleted { trials: 1, dropped_events: 0 });
         thread::scope(|scope| {
             scope.spawn(|| {
                 bus.close();
             });
             // The blocked emit must return (dropping its event) …
-            bus.emit(Event::CampaignCompleted { trials: 2 });
+            bus.emit(Event::CampaignCompleted { trials: 2, dropped_events: 0 });
             // … and the consumer must terminate after draining.
             let mut buf = Vec::new();
             while bus.drain_wait(&mut buf) {}
             assert_eq!(buf.len(), 1);
         });
+    }
+
+    #[test]
+    fn drain_after_all_senders_drop_yields_every_buffered_event() {
+        let bus = EventBus::new(8);
+        thread::scope(|scope| {
+            for p in 0..3u64 {
+                let bus = &bus;
+                scope.spawn(move || {
+                    bus.emit(Event::FaultOutcome { trial: p, outcome: "no-effect".into() });
+                });
+            }
+        });
+        // Every producer has exited; nothing further can arrive. A close
+        // followed by a drain must still surface everything buffered.
+        bus.close();
+        let mut buf = Vec::new();
+        while bus.drain_wait(&mut buf) {}
+        assert_eq!(buf.len(), 3, "buffered events survive sender teardown");
+        assert!(!bus.drain_wait(&mut buf), "a closed, empty bus ends the consumer");
+        assert_eq!(bus.dropped(), 0, "the lossless path dropped nothing");
+    }
+
+    #[test]
+    fn sink_dropped_surfaces_the_bus_counter() {
+        let bus = EventBus::new(1);
+        EventSink::emit(&bus, Event::TrialCompleted { trial: 0 });
+        EventSink::emit(&bus, Event::TrialCompleted { trial: 1 });
+        assert_eq!(EventSink::dropped(&bus), 1);
+        assert_eq!(EventSink::dropped(&&bus), 1, "forwarding impl keeps the counter visible");
     }
 
     #[test]
