@@ -80,9 +80,13 @@ fn main() -> ExitCode {
     // The campaign-service subcommands have their own flag grammar.
     if matches!(
         args.first().map(String::as_str),
-        Some("serve" | "submit" | "status" | "cancel" | "watch")
+        Some("serve" | "submit" | "status" | "stats" | "cancel" | "watch")
     ) {
         return service_cli(&args);
+    }
+    // So does the offline events toolchain.
+    if args.first().map(String::as_str) == Some("events") {
+        return events_cli(&args[1..]);
     }
     let mut cmds: Vec<String> = Vec::new();
     let mut opts = Opts {
@@ -349,16 +353,19 @@ fn live_consumer(bus: &EventBus, path: &str, progress: bool) -> std::io::Result<
     // stream in the JSONL document is lossless regardless.
     let dropped = bus.dropped();
     if dropped > 0 {
+        let by_kind: Vec<String> =
+            bus.dropped_by_kind().into_iter().map(|(kind, n)| format!("{kind} x{n}")).collect();
         eprintln!(
-            "note: {dropped} operational events dropped under backpressure \
-             (the replayable JSONL stream is lossless)"
+            "note: {dropped} operational events dropped under backpressure [{}] \
+             (the replayable JSONL stream is lossless)",
+            by_kind.join(", ")
         );
     }
     writer.flush()
 }
 
-/// The `repro serve|submit|status|cancel|watch` subcommands — the CLI
-/// face of the `emask-serve` campaign service.
+/// The `repro serve|submit|status|stats|cancel|watch` subcommands — the
+/// CLI face of the `emask-serve` campaign service.
 fn service_cli(args: &[String]) -> ExitCode {
     let cmd = args[0].as_str();
     let mut state_dir = String::from("emask-serve-state");
@@ -438,6 +445,16 @@ fn service_cli(args: &[String]) -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        "stats" => match client::stats(&socket_path) {
+            Ok(line) => {
+                println!("{line}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "cancel" => {
             let id = match job_arg(&positional) {
                 Ok(id) => id,
@@ -484,12 +501,103 @@ fn service_usage(err: &str) -> ExitCode {
         "       repro submit [--socket PATH] '{{\"experiment\":\"fault\",\"trials\":400,...}}'"
     );
     eprintln!("       repro status [--socket PATH]");
+    eprintln!("       repro stats  [--socket PATH]");
     eprintln!("       repro cancel [--socket PATH] JOB");
     eprintln!("       repro watch  [--socket PATH] JOB");
     eprintln!("  the default socket is <state-dir>/serve.sock (state dir: emask-serve-state)");
     eprintln!("  `submit` prints the job id; results land in <state-dir>/job-<id>.csv");
     eprintln!("  SIGTERM drains gracefully; a restarted server auto-resumes parked jobs");
     ExitCode::FAILURE
+}
+
+/// The `repro events <summarize|tail|validate|trace>` toolchain —
+/// offline analysis of the JSONL event streams the service and
+/// `--live-out` produce (see `emask_bench::events_tool`).
+fn events_cli(args: &[String]) -> ExitCode {
+    use emask_bench::events_tool;
+    let events_usage = |err: &str| -> ExitCode {
+        eprintln!("error: {err}");
+        eprintln!("usage: repro events summarize FILE");
+        eprintln!("       repro events tail      FILE [-n N]");
+        eprintln!("       repro events validate  FILE");
+        eprintln!("       repro events trace     FILE [-o TRACE.json]");
+        eprintln!("  FILE is a JSONL event stream (`-` = stdin): a service job's");
+        eprintln!("  events.jsonl history or a `--live-out` capture");
+        eprintln!("  `trace` writes a Chrome trace-event document (job > attempt > shard)");
+        ExitCode::FAILURE
+    };
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return events_usage("events needs a subcommand");
+    };
+    let mut file: Option<String> = None;
+    let mut tail_n = 10usize;
+    let mut out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-n" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => tail_n = v,
+                _ => return events_usage("-n needs a positive count"),
+            },
+            "-o" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => return events_usage("-o needs a file path"),
+            },
+            flag if flag.starts_with('-') && flag != "-" => {
+                return events_usage(&format!("unknown flag `{flag}`"));
+            }
+            _ => {
+                if file.replace(a.clone()).is_some() {
+                    return events_usage("events takes exactly one FILE");
+                }
+            }
+        }
+    }
+    let Some(file) = file else {
+        return events_usage(&format!("{cmd} needs a FILE argument"));
+    };
+    let text = if file == "-" {
+        let mut s = String::new();
+        match std::io::Read::read_to_string(&mut std::io::stdin(), &mut s) {
+            Ok(_) => s,
+            Err(e) => {
+                eprintln!("error: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let rendered = match cmd {
+        "summarize" => events_tool::summarize(&text),
+        "tail" => Ok(events_tool::tail(&text, tail_n)),
+        "validate" => events_tool::validate(&text),
+        "trace" => events_tool::trace(&text),
+        other => return events_usage(&format!("unknown events subcommand `{other}`")),
+    };
+    match rendered {
+        Ok(doc) => {
+            if let Some(out) = out {
+                if let Err(e) = fs::write(&out, doc) {
+                    eprintln!("error: cannot write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            } else {
+                print!("{doc}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -528,6 +636,10 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("  --recover     run fault trials under checkpoint/rollback recovery");
     eprintln!("  --checkpoint  persist fault-campaign progress to this file after every shard");
     eprintln!("  --resume      continue a killed campaign from its --checkpoint file");
+    eprintln!(
+        "  see also: `repro serve|submit|status|stats|cancel|watch` (campaign service) and \
+         `repro events summarize|tail|validate|trace` (event-stream analysis)"
+    );
     ExitCode::FAILURE
 }
 

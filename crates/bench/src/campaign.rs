@@ -487,6 +487,7 @@ pub fn run_campaign_events<S: EventSink>(
         sink.emit(Event::CampaignCompleted {
             trials: cfg.trials as u64,
             dropped_events: sink.dropped(),
+            dropped_by_kind: sink.dropped_by_kind(),
         });
     }
     Ok(CampaignReport { trials, counts, clean_cycles: runner.clean_cycles(), recovery })

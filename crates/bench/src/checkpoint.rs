@@ -467,6 +467,7 @@ pub fn run_campaign_resumable_cancellable_events<S: EventSink>(
         sink.emit(Event::CampaignCompleted {
             trials: cfg.trials as u64,
             dropped_events: sink.dropped(),
+            dropped_by_kind: sink.dropped_by_kind(),
         });
     }
     Ok(CampaignReport { trials, counts, clean_cycles: runner.clean_cycles(), recovery })

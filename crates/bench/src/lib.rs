@@ -41,6 +41,7 @@
 
 pub mod campaign;
 pub mod checkpoint;
+pub mod events_tool;
 pub mod experiments;
 pub mod live;
 pub mod service;

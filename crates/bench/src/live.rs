@@ -130,6 +130,7 @@ pub fn dpa_attack_convergence_cancellable<S: EventSink>(
         sink.emit(Event::CampaignCompleted {
             trials: samples as u64,
             dropped_events: sink.dropped(),
+            dropped_by_kind: sink.dropped_by_kind(),
         });
     }
     let true_subkey = KeySchedule::new(KEY).round_key(1).sbox_slice(sbox);
@@ -252,6 +253,7 @@ pub fn tvla_convergence_cancellable<S: EventSink>(
         sink.emit(Event::CampaignCompleted {
             trials: group_size as u64,
             dropped_events: sink.dropped(),
+            dropped_by_kind: sink.dropped_by_kind(),
         });
     }
     let (max_t, at_cycle, leaky_cycles) = welch_stats(&acc);

@@ -19,7 +19,7 @@ use emask_core::{DesProgramSpec, MaskPolicy, MaskedDes, Phase, RecoveryPolicy};
 use emask_des::KeySchedule;
 use emask_par::Jobs;
 use emask_serve::{ExperimentRunner, JobCtx, JobSpec, RunStatus};
-use emask_telemetry::EventSink as _;
+use emask_telemetry::{EventSink as _, Span};
 
 /// The production runner behind `repro serve`.
 #[derive(Debug, Default, Clone, Copy)]
@@ -115,6 +115,27 @@ impl ExperimentRunner for BenchRunner {
     }
 
     fn run(&self, spec: &JobSpec, ctx: &JobCtx<'_>) -> RunStatus {
+        let status = run_experiment(spec, ctx);
+        // A completed sharded campaign gets its shard ladder appended to
+        // the replayable stream: one span per entry of the deterministic
+        // shard plan, hung below the supervisor's attempt span. Emitted
+        // here — after the merge, in shard order — rather than live from
+        // workers, so the stream stays byte-identical at any worker
+        // count; `items` is the shard's trial count. (`leakage` has no
+        // trial sharding, so it gets no ladder.)
+        if matches!(status, RunStatus::Done { .. }) && spec.experiment != "leakage" {
+            for (index, range) in emask_par::shard_plan(spec.trials) {
+                let shard = Span::below(ctx.span, "shard", index as u64);
+                shard.open_on(ctx.sink);
+                shard.close_on(ctx.sink, range.len() as u64);
+            }
+        }
+        status
+    }
+}
+
+fn run_experiment(spec: &JobSpec, ctx: &JobCtx<'_>) -> RunStatus {
+    {
         let policy = match parse_policy(&spec.policy) {
             Ok(p) => p,
             Err(reason) => return RunStatus::Failed { reason, transient: false },
@@ -252,6 +273,7 @@ impl ExperimentRunner for BenchRunner {
                 ctx.sink.emit(emask_telemetry::Event::CampaignCompleted {
                     trials: traces as u64,
                     dropped_events: ctx.sink.dropped(),
+                    dropped_by_kind: ctx.sink.dropped_by_kind(),
                 });
                 RunStatus::Done { csv: cmp.csv }
             }
@@ -282,8 +304,15 @@ mod tests {
         let _ = std::fs::remove_file(&ckpt);
         let sink = JobSink::open(&events).unwrap();
         let token = CancelToken::new();
-        let status =
-            BenchRunner.run(spec, &JobCtx { token: &token, sink: &sink, checkpoint: &ckpt });
+        let status = BenchRunner.run(
+            spec,
+            &JobCtx {
+                token: &token,
+                sink: &sink,
+                checkpoint: &ckpt,
+                span: emask_telemetry::SpanId::ROOT,
+            },
+        );
         let _ = std::fs::remove_file(&events);
         let _ = std::fs::remove_file(&ckpt);
         status
@@ -364,8 +393,15 @@ mod tests {
         token.cancel(emask_par::CancelReason::Cancelled);
         let spec =
             JobSpec { experiment: "dpa".into(), trials: 64, rounds: 1, ..JobSpec::default() };
-        let status =
-            BenchRunner.run(&spec, &JobCtx { token: &token, sink: &sink, checkpoint: &ckpt });
+        let status = BenchRunner.run(
+            &spec,
+            &JobCtx {
+                token: &token,
+                sink: &sink,
+                checkpoint: &ckpt,
+                span: emask_telemetry::SpanId::ROOT,
+            },
+        );
         assert!(matches!(status, RunStatus::Interrupted(i) if i.completed_trials == 0));
         let _ = std::fs::remove_file(&events);
     }

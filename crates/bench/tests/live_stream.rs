@@ -71,7 +71,10 @@ fn golden_dpa_jsonl_schema_is_stable() {
         let ranks = line.split("\"ranks\":[").nth(1).expect("ranks array");
         assert_eq!(ranks.trim_end_matches("]}").split(',').count(), 64, "{line}");
     }
-    assert_eq!(lines[4], r#"{"event":"campaign_completed","trials":48,"dropped_events":0}"#);
+    assert_eq!(
+        lines[4],
+        r#"{"event":"campaign_completed","trials":48,"dropped_events":0,"dropped_by_kind":{}}"#
+    );
 }
 
 #[test]

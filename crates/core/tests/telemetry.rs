@@ -133,13 +133,17 @@ fn metrics_csv_and_summary_render_the_run() {
     assert_eq!(
         lines.next().unwrap(),
         "phase,start_cycle,cycles,inst_bus,operand_latches,functional_units,\
-         result_bus,mem_bus,writeback_latch,regfile,memory,clock,total_pj"
+         result_bus,mem_bus,writeback_latch,regfile,memory,clock,total_pj,\
+         min_pj,max_pj,p50_pj,p95_pj,p99_pj"
     );
     // startup + IP + PC-1 + round 1 + FP, plus the trailing total row.
     assert_eq!(csv.lines().count(), 1 + 5 + 1);
     let total_row = csv.lines().last().unwrap();
     assert!(total_row.starts_with("total,0,"));
-    let total: f64 = total_row.rsplit(',').next().unwrap().parse().unwrap();
+    // total_pj sits 5 fields before the end (the per-cycle distribution
+    // columns trail it) and must reconcile with the trace algebra.
+    let fields: Vec<&str> = total_row.split(',').collect();
+    let total: f64 = fields[fields.len() - 6].parse().unwrap();
     assert!((total - run.trace.total_pj()).abs() < 1e-6);
 
     let report = summary(&snapshot);

@@ -153,6 +153,7 @@ impl CycleActivity {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -137,6 +137,7 @@ impl CpuCheckpoint {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use emask_isa::{assemble, Program, Reg};

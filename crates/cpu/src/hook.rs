@@ -323,6 +323,7 @@ impl RailSkew {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::activity::CycleActivity;

@@ -202,6 +202,7 @@ fn eval(op: Op, a: u32, b: u32) -> Option<u32> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pipeline::Cpu;

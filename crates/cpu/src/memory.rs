@@ -184,6 +184,7 @@ impl DataMemory {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

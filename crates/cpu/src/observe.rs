@@ -219,6 +219,7 @@ pub fn dispatch<O: PipelineObserver>(obs: &mut O, act: &CycleActivity) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::activity::BusSample;

@@ -682,6 +682,7 @@ fn branch_taken(op: Op, a: u32, b: u32) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use emask_isa::assemble;

@@ -59,6 +59,7 @@ impl fmt::Display for RegisterFile {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

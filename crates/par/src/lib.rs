@@ -288,6 +288,17 @@ pub fn shard_ranges(n: usize) -> Vec<Range<usize>> {
         .collect()
 }
 
+/// [`shard_ranges`] with each range paired with its shard index — the
+/// enumeration every shard-indexed consumer wants (span ladders, progress
+/// tables). Pure like `shard_ranges`: the plan for a given `n` is
+/// identical on every run, at any worker count, before or after a resume,
+/// which is what lets a supervisor emit per-shard telemetry *after* a
+/// campaign returns and still describe exactly the work that happened.
+#[must_use]
+pub fn shard_plan(n: usize) -> Vec<(usize, Range<usize>)> {
+    shard_ranges(n).into_iter().enumerate().collect()
+}
+
 /// Runs `worker` once per shard of `0..n` across `jobs` threads and
 /// returns the per-shard results **in shard order**.
 ///
@@ -801,6 +812,20 @@ mod tests {
             assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n = {n}");
             assert!(ranges.iter().all(|r| !r.is_empty()) || n == 0);
         }
+    }
+
+    #[test]
+    fn shard_plan_enumerates_the_ranges_in_order() {
+        for n in [0usize, 1, 31, 32, 33, 400] {
+            let plan = shard_plan(n);
+            assert_eq!(plan.len(), shard_ranges(n).len(), "n = {n}");
+            for (expect, (index, range)) in plan.iter().enumerate() {
+                assert_eq!(*index, expect, "n = {n}");
+                assert_eq!(*range, shard_ranges(n)[expect], "n = {n}");
+            }
+        }
+        // Pure: two calls agree, which is what post-run telemetry relies on.
+        assert_eq!(shard_plan(123), shard_plan(123));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Client helpers for the NDJSON protocol — what `repro submit` /
-//! `status` / `cancel` / `watch` are built on.
+//! `status` / `stats` / `cancel` / `watch` are built on.
 
 use crate::json::{parse, Json};
 use std::io::{BufRead, BufReader, Write};
@@ -102,6 +102,19 @@ pub fn cancel(socket: &Path, job: u64) -> Result<(), ClientError> {
 /// The transport error or the server's rejection.
 pub fn status(socket: &Path) -> Result<String, ClientError> {
     let reply = request_line(socket, "{\"cmd\":\"status\"}")?;
+    expect_ok(&reply)?;
+    Ok(reply)
+}
+
+/// Fetches the service-metrics reply (raw JSON line): queue depth,
+/// per-state job counts, latency quantiles, and the dropped-event
+/// ledger.
+///
+/// # Errors
+///
+/// The transport error or the server's rejection.
+pub fn stats(socket: &Path) -> Result<String, ClientError> {
+    let reply = request_line(socket, "{\"cmd\":\"stats\"}")?;
     expect_ok(&reply)?;
     Ok(reply)
 }

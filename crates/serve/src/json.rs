@@ -7,6 +7,10 @@
 //! subset the protocol needs. Integers parse exactly (`i64`); anything
 //! with a fraction or exponent parses as `f64`. Duplicate object keys
 //! keep the last value, matching what every mainstream parser does.
+//! Nesting is bounded ([`MAX_DEPTH`]) so a hostile request cannot drive
+//! the recursive descent into a stack overflow, and [`parse_bytes`]
+//! rejects non-UTF-8 input up front — the parser proper only ever sees
+//! valid `&str`.
 
 use std::fmt;
 
@@ -90,6 +94,11 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Deepest allowed array/object nesting. Far beyond anything the
+/// protocol produces (requests nest two levels), while keeping the
+/// recursive descent's stack use bounded against hostile input.
+pub const MAX_DEPTH: usize = 64;
+
 /// Parses one complete JSON document; trailing non-whitespace is an
 /// error.
 ///
@@ -97,7 +106,7 @@ impl std::error::Error for ParseError {}
 ///
 /// [`ParseError`] with the byte offset of the first offending character.
 pub fn parse(text: &str) -> Result<Json, ParseError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let value = p.value()?;
     p.skip_ws();
@@ -128,9 +137,24 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Parses a raw byte buffer: rejects non-UTF-8 input (at the offset of
+/// the first invalid byte), then parses as [`parse`] does. This is the
+/// boundary where wire input becomes text — the `&str`-typed parser can
+/// then rely on encoding validity.
+///
+/// # Errors
+///
+/// [`ParseError`] for invalid UTF-8 or invalid JSON.
+pub fn parse_bytes(bytes: &[u8]) -> Result<Json, ParseError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| ParseError { at: e.valid_up_to(), reason: "invalid UTF-8" })?;
+    parse(text)
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -146,6 +170,15 @@ impl Parser<'_> {
         while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
+    }
+
+    /// Counts one level of array/object nesting against [`MAX_DEPTH`].
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
     }
 
     fn expect(&mut self, b: u8, reason: &'static str) -> Result<(), ParseError> {
@@ -181,10 +214,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[', "expected '['")?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -195,6 +230,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -204,10 +240,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{', "expected '{'")?;
+        self.descend()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -223,6 +261,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -362,5 +401,48 @@ mod tests {
     fn duplicate_keys_keep_the_last_value() {
         let v = parse(r#"{"a":1,"a":2}"#).unwrap();
         assert_eq!(v.get("a").unwrap().as_u64(), Some(2));
+        // `get` sees the survivor even when nested duplicates disagree.
+        let v = parse(r#"{"a":{"b":1},"a":{"b":2},"c":3}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().get("b").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("c").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn truncated_documents_fail_at_the_cut() {
+        // Every prefix of a valid request must fail cleanly, never panic
+        // or accept.
+        let full = r#"{"cmd":"submit","spec":{"experiment":"fault","trials":10}}"#;
+        for cut in 1..full.len() {
+            let prefix = &full[..cut];
+            assert!(parse(prefix).is_err(), "accepted truncation: {prefix}");
+        }
+        // Truncations inside escapes and numbers carry useful offsets.
+        let err = parse(r#"{"a":"\u00"#).unwrap_err();
+        assert!(err.at <= 10, "{err}");
+    }
+
+    #[test]
+    fn nesting_is_bounded() {
+        let deep = |n: usize| "[".repeat(n) + &"]".repeat(n);
+        assert!(parse(&deep(MAX_DEPTH)).is_ok());
+        let err = parse(&deep(MAX_DEPTH + 1)).unwrap_err();
+        assert_eq!(err.reason, "nesting too deep");
+        // Mixed object/array nesting counts the same budget; a hostile
+        // depth bomb fails fast instead of overflowing the stack.
+        let bomb = "{\"a\":".repeat(10_000) + "1" + &"}".repeat(10_000);
+        assert_eq!(parse(&bomb).unwrap_err().reason, "nesting too deep");
+        // Siblings do not accumulate: depth is nesting, not node count.
+        let wide = format!("[{}]", vec![deep(MAX_DEPTH - 1); 4].join(","));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn non_utf8_bytes_are_rejected_at_the_boundary() {
+        assert_eq!(parse_bytes(br#"{"a":1}"#).unwrap(), parse(r#"{"a":1}"#).unwrap());
+        let err = parse_bytes(b"{\"a\":\"\xff\"}").unwrap_err();
+        assert_eq!(err.reason, "invalid UTF-8");
+        assert_eq!(err.at, 6, "offset of the first invalid byte");
+        // An overlong encoding (0xC0 0x80 for NUL) is invalid UTF-8 too.
+        assert!(parse_bytes(b"\"\xc0\x80\"").is_err());
     }
 }

@@ -50,6 +50,6 @@ pub use signal::{install as install_signal_handler, terminated};
 pub use sink::JobSink;
 pub use spec::{JobSpec, SpecError};
 pub use supervisor::{
-    ExperimentRunner, JobCtx, JobState, JobStatus, RejectReason, RunStatus, Supervisor,
-    SupervisorConfig,
+    ExperimentRunner, JobCtx, JobState, JobStatus, LatencyStats, RejectReason, RunStatus,
+    ServiceStats, Supervisor, SupervisorConfig,
 };

@@ -8,6 +8,7 @@
 //! | `{"cmd":"submit","spec":{…}}` | `{"ok":true,"job":N}` or `{"ok":false,"kind":…,"error":…}` |
 //! | `{"cmd":"status"}` | `{"ok":true,"shutting_down":…,"jobs":[{"job":…,"experiment":…,"state":…,"attempt":…}]}` |
 //! | `{"cmd":"cancel","job":N}` | `{"ok":true}` |
+//! | `{"cmd":"stats"}` | `{"ok":true,"queue_depth":…,"states":{…},"latencies":{…},"dropped_events":…,"dropped_by_kind":{…}}` |
 //! | `{"cmd":"watch","job":N}` | the job's event lines (history, then live), then `{"ok":true,"job":N,"state":…}` |
 //! | `{"cmd":"shutdown"}` | `{"ok":true}` — then the server drains and exits |
 //!
@@ -19,7 +20,7 @@
 use crate::json::{escape, parse, Json};
 use crate::signal;
 use crate::spec::JobSpec;
-use crate::supervisor::{ExperimentRunner, Supervisor, SupervisorConfig};
+use crate::supervisor::{ExperimentRunner, ServiceStats, Supervisor, SupervisorConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -66,6 +67,44 @@ fn err_line(kind: &str, error: &str) -> String {
     format!("{{\"ok\":false,\"kind\":\"{}\",\"error\":\"{}\"}}", escape(kind), escape(error))
 }
 
+/// Renders a [`ServiceStats`] snapshot as the `stats` reply payload
+/// (without the `ok` wrapper). All numbers are finite by construction —
+/// empty histograms summarize to zeros — so the document is always strict
+/// JSON.
+fn stats_payload(stats: &ServiceStats, shutting_down: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out =
+        format!("\"shutting_down\":{shutting_down},\"queue_depth\":{}", stats.queue_depth);
+    out.push_str(",\"states\":{");
+    for (i, (name, count)) in stats.states.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{count}");
+    }
+    out.push_str("},\"latencies\":{");
+    for (i, l) in stats.latencies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            l.name, l.count, l.mean, l.min, l.max, l.p50, l.p95, l.p99
+        );
+    }
+    let _ = write!(out, "}},\"dropped_events\":{}", stats.dropped_events);
+    out.push_str(",\"dropped_by_kind\":{");
+    for (i, (kind, n)) in stats.dropped_by_kind.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{n}", escape(kind));
+    }
+    out.push('}');
+    out
+}
+
 /// Runs the service until SIGTERM/SIGINT or a `shutdown` command, then
 /// drains gracefully. Blocks the calling thread.
 ///
@@ -94,6 +133,12 @@ pub fn serve<R: ExperimentRunner + 'static>(cfg: &ServerConfig, runner: R) -> Re
         move || sup.run_executor()
     });
     eprintln!("emask-serve: listening on {}", cfg.socket.display());
+    // The gauge heartbeat rides the 25 ms accept poll: every 40th idle
+    // poll (~1 s) pushes one operational `service_metrics` event to the
+    // live watchers. Operational events are never persisted, so the
+    // cadence — wall-clock and load dependent — cannot perturb the
+    // replayable history.
+    let mut idle_polls = 0u32;
     loop {
         if signal::terminated() || sup.shutting_down() {
             break;
@@ -105,6 +150,10 @@ pub fn serve<R: ExperimentRunner + 'static>(cfg: &ServerConfig, runner: R) -> Re
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(25));
+                idle_polls += 1;
+                if idle_polls.is_multiple_of(40) {
+                    sup.emit_service_metrics();
+                }
             }
             Err(e) => eprintln!("emask-serve: accept failed: {e}"),
         }
@@ -191,6 +240,9 @@ fn respond<R: ExperimentRunner>(
                     rows.join(",")
                 ))
             )
+        }
+        Some("stats") => {
+            writeln!(out, "{}", ok_line(&stats_payload(&sup.stats(), sup.shutting_down())))
         }
         Some("cancel") => {
             let reply = match doc.get("job").and_then(Json::as_u64) {

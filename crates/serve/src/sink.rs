@@ -10,6 +10,7 @@
 //! policy as [`emask_telemetry::EventBus`].
 
 use emask_telemetry::{Event, EventSink};
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::Path;
@@ -29,6 +30,10 @@ struct SinkState {
 pub struct JobSink {
     state: Mutex<SinkState>,
     dropped: AtomicU64,
+    /// Per-kind breakdown of `dropped` — a lossy counter is only
+    /// actionable if it says *what* was shed (all heartbeats? or
+    /// convergence snapshots a dashboard was relying on?).
+    dropped_kinds: Mutex<BTreeMap<&'static str, u64>>,
 }
 
 impl std::fmt::Debug for JobSink {
@@ -48,6 +53,7 @@ impl JobSink {
         Ok(JobSink {
             state: Mutex::new(SinkState { file, subscribers: Vec::new() }),
             dropped: AtomicU64::new(0),
+            dropped_kinds: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -67,7 +73,7 @@ impl JobSink {
         Ok((snapshot, rx))
     }
 
-    fn deliver(&self, line: &str, persist: bool) {
+    fn deliver(&self, line: &str, kind: &'static str, persist: bool) {
         let mut st = self.state.lock().expect("job sink poisoned");
         if persist {
             // An unwritable event file is a lost history, not a lost
@@ -91,6 +97,9 @@ impl JobSink {
         drop(st);
         if dropped > 0 {
             self.dropped.fetch_add(dropped, Ordering::Relaxed);
+            let mut kinds = self.dropped_kinds.lock().expect("job sink poisoned");
+            let slot = kinds.entry(kind).or_insert(0);
+            *slot = slot.saturating_add(dropped);
         }
     }
 
@@ -104,11 +113,16 @@ impl JobSink {
 impl EventSink for JobSink {
     fn emit(&self, event: Event) {
         let persist = event.is_replayable();
-        self.deliver(&event.to_json(), persist);
+        self.deliver(&event.to_json(), event.kind(), persist);
     }
 
     fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn dropped_by_kind(&self) -> Vec<(String, u64)> {
+        let kinds = self.dropped_kinds.lock().expect("job sink poisoned");
+        kinds.iter().map(|(k, &n)| ((*k).to_string(), n)).collect()
     }
 }
 
@@ -178,6 +192,7 @@ mod tests {
             sink.emit(Event::TrialCompleted { trial: t });
         }
         assert_eq!(EventSink::dropped(&sink), 10, "overflow heartbeats are counted");
+        assert_eq!(sink.dropped_by_kind(), vec![("trial_completed".to_string(), 10)]);
         drop(rx);
         let _ = std::fs::remove_file(&path);
     }

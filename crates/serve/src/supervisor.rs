@@ -31,7 +31,7 @@ use crate::retry::RetryPolicy;
 use crate::sink::JobSink;
 use crate::spec::{JobSpec, SpecError};
 use emask_par::{CancelReason, CancelToken, Interrupted};
-use emask_telemetry::{Event, EventSink};
+use emask_telemetry::{Event, EventSink, Histogram, Span, SpanId};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -131,6 +131,11 @@ pub struct JobCtx<'a> {
     /// restarts, so resumable experiments continue instead of starting
     /// over.
     pub checkpoint: &'a Path,
+    /// The id of the supervisor's *attempt* span for this run. Runners
+    /// that emit their own spans (e.g. the post-merge shard ladder) hang
+    /// them below this id with [`Span::below`], so the offline trace
+    /// nests job → attempt → shard without the runner knowing job ids.
+    pub span: SpanId,
 }
 
 /// The experiment side of the service: validates and sizes specs at
@@ -249,12 +254,97 @@ struct JobRecord {
     cancel_requested: bool,
     token: Option<CancelToken>,
     sink: Arc<JobSink>,
+    /// When the job last entered the queue (set at submit, park, rescan);
+    /// feeds the queue-wait latency histogram at dequeue.
+    queued_at: Instant,
+    /// How many times the job has been enqueued — the index of its
+    /// current `queue_wait` span.
+    waits: u64,
 }
 
 struct Inner {
     jobs: BTreeMap<u64, JobRecord>,
     pending: VecDeque<u64>,
     next_id: u64,
+}
+
+/// Latency histograms for the service as a whole, in milliseconds.
+///
+/// These are wall-clock measurements — scheduling-dependent by nature, so
+/// they live here (and in the operational plane) rather than in the
+/// replayable stream. Widths are coarse on purpose: the histograms answer
+/// "is the queue backing up" / "are runs slowing down", not profiling
+/// questions.
+struct LatencyHistograms {
+    queue_wait_ms: Histogram,
+    run_ms: Histogram,
+    backoff_ms: Histogram,
+}
+
+impl LatencyHistograms {
+    fn new() -> Self {
+        LatencyHistograms {
+            queue_wait_ms: Histogram::new(25.0, 40),
+            run_ms: Histogram::new(25.0, 40),
+            backoff_ms: Histogram::new(25.0, 40),
+        }
+    }
+}
+
+/// A named latency summary in [`ServiceStats`]: count plus the
+/// distribution's extremes and quantiles (per [`Histogram::quantile`]).
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    /// Which latency: `queue_wait_ms`, `run_ms`, or `backoff_ms`.
+    pub name: &'static str,
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean of the finite samples.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl LatencyStats {
+    fn summarize(name: &'static str, h: &Histogram) -> LatencyStats {
+        LatencyStats {
+            name,
+            count: h.count(),
+            mean: h.mean(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service: queue gauge, per-state job
+/// counts, latency distributions, and the dropped-event ledger. Rendered
+/// by the `stats` protocol verb and summarized into the periodic
+/// [`Event::ServiceMetrics`] heartbeat.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: u64,
+    /// Jobs per state, in [`JobState`] declaration order; every state is
+    /// present (zero counts included) so consumers needn't special-case.
+    pub states: Vec<(&'static str, u64)>,
+    /// Latency summaries: queue wait, run, retry backoff.
+    pub latencies: Vec<LatencyStats>,
+    /// Operational events shed under backpressure, all jobs, aggregate.
+    pub dropped_events: u64,
+    /// The same drops keyed by event kind, ascending by kind.
+    pub dropped_by_kind: Vec<(String, u64)>,
 }
 
 /// The supervised campaign queue. One executor thread drains it
@@ -266,6 +356,7 @@ pub struct Supervisor<R> {
     inner: Mutex<Inner>,
     work: Condvar,
     shutdown: AtomicBool,
+    stats: Mutex<LatencyHistograms>,
 }
 
 impl<R> fmt::Debug for Supervisor<R> {
@@ -292,7 +383,15 @@ impl<R: ExperimentRunner> Supervisor<R> {
             }),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            stats: Mutex::new(LatencyHistograms::new()),
         })
+    }
+
+    /// The job's top-level span — a pure function of the id, so any code
+    /// path (submit, cancel, finish, a restarted process) derives the
+    /// same tree.
+    fn job_span(id: u64) -> Span {
+        Span::root("job", id)
     }
 
     fn path(&self, id: u64, ext: &str) -> PathBuf {
@@ -344,9 +443,22 @@ impl<R: ExperimentRunner> Supervisor<R> {
                     JobState::Queued
                 }
             };
+            // No span events here: the job and queue-wait opens from the
+            // original submit are already in the file, and the eventual
+            // dequeue closes across the restart — the replayed stream
+            // shows one queue wait spanning the outage.
             inner.jobs.insert(
                 id,
-                JobRecord { spec, state, attempt: 0, cancel_requested: false, token: None, sink },
+                JobRecord {
+                    spec,
+                    state,
+                    attempt: 0,
+                    cancel_requested: false,
+                    token: None,
+                    sink,
+                    queued_at: Instant::now(),
+                    waits: 1,
+                },
             );
             inner.next_id = inner.next_id.max(id + 1);
         }
@@ -388,6 +500,11 @@ impl<R: ExperimentRunner> Supervisor<R> {
             experiment: spec.experiment.clone(),
             trials: spec.trials as u64,
         });
+        // The job's causal tree starts here: the job span arcs to the
+        // terminal event; the first queue-wait span arcs to the dequeue.
+        let job = Self::job_span(id);
+        job.open_on(&*sink);
+        job.child("queue_wait", 1).open_on(&*sink);
         inner.next_id = id + 1;
         inner.jobs.insert(
             id,
@@ -398,6 +515,8 @@ impl<R: ExperimentRunner> Supervisor<R> {
                 cancel_requested: false,
                 token: None,
                 sink,
+                queued_at: Instant::now(),
+                waits: 1,
             },
         );
         inner.pending.push_back(id);
@@ -427,9 +546,13 @@ impl<R: ExperimentRunner> Supervisor<R> {
             // Not running: finalize right here.
             rec.state = JobState::Cancelled;
             let sink = Arc::clone(&rec.sink);
+            let waits = rec.waits;
             inner.pending.retain(|&p| p != id);
             drop(inner);
+            let job = Self::job_span(id);
+            job.child("queue_wait", waits).close_on(&*sink, waits);
             sink.emit(Event::JobCancelled { job: id });
+            job.close_on(&*sink, 0);
             self.finish_files(id, JobState::Cancelled, &sink);
         }
         Ok(())
@@ -476,6 +599,84 @@ impl<R: ExperimentRunner> Supervisor<R> {
     #[must_use]
     pub fn job_state(&self, id: u64) -> Option<JobState> {
         self.inner.lock().expect("supervisor poisoned").jobs.get(&id).map(|r| r.state)
+    }
+
+    /// Counts jobs per state, every state present, declaration order.
+    fn state_counts(inner: &Inner) -> Vec<(&'static str, u64)> {
+        const STATES: [JobState; 6] = [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Completed,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::DeadlineExceeded,
+        ];
+        STATES
+            .iter()
+            .map(|&s| (s.name(), inner.jobs.values().filter(|r| r.state == s).count() as u64))
+            .collect()
+    }
+
+    /// A point-in-time service snapshot: queue gauge, per-state counts,
+    /// latency distributions, and the dropped-event ledger (aggregate +
+    /// per kind, summed over every job's sink).
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let inner = self.inner.lock().expect("supervisor poisoned");
+        let queue_depth = inner.pending.len() as u64;
+        let states = Self::state_counts(&inner);
+        let mut dropped_events = 0u64;
+        let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+        for rec in inner.jobs.values() {
+            dropped_events += rec.sink.dropped();
+            for (kind, n) in rec.sink.dropped_by_kind() {
+                *by_kind.entry(kind).or_insert(0) += n;
+            }
+        }
+        drop(inner);
+        let h = self.stats.lock().expect("stats poisoned");
+        let latencies = vec![
+            LatencyStats::summarize("queue_wait_ms", &h.queue_wait_ms),
+            LatencyStats::summarize("run_ms", &h.run_ms),
+            LatencyStats::summarize("backoff_ms", &h.backoff_ms),
+        ];
+        drop(h);
+        ServiceStats {
+            queue_depth,
+            states,
+            latencies,
+            dropped_events,
+            dropped_by_kind: by_kind.into_iter().collect(),
+        }
+    }
+
+    /// Emits one [`Event::ServiceMetrics`] gauge snapshot to every
+    /// non-terminal job's sink. The event is operational — never
+    /// persisted, forwarded best-effort to live `watch` subscribers and
+    /// drop-counted under backpressure — so the periodic heartbeat leaves
+    /// the replayable history byte-for-byte untouched.
+    pub fn emit_service_metrics(&self) {
+        let inner = self.inner.lock().expect("supervisor poisoned");
+        let states = Self::state_counts(&inner);
+        let gauge = |name: &str| states.iter().find(|(n, _)| *n == name).map_or(0, |(_, c)| *c);
+        let event = Event::ServiceMetrics {
+            queued: gauge("queued"),
+            running: gauge("running"),
+            completed: gauge("completed"),
+            failed: gauge("failed"),
+            cancelled: gauge("cancelled"),
+            deadline_exceeded: gauge("deadline_exceeded"),
+        };
+        let live: Vec<Arc<JobSink>> = inner
+            .jobs
+            .values()
+            .filter(|r| !r.state.terminal())
+            .map(|r| Arc::clone(&r.sink))
+            .collect();
+        drop(inner);
+        for sink in live {
+            sink.emit(event.clone());
+        }
     }
 
     /// Starts graceful shutdown: no new admissions, the running job's
@@ -537,8 +738,12 @@ impl<R: ExperimentRunner> Supervisor<R> {
         rec.state = state;
         rec.token = None;
         let sink = Arc::clone(&rec.sink);
+        let attempts = u64::from(rec.attempt);
         drop(inner);
         sink.emit(event);
+        // The job span closes right after its terminal event; its extent
+        // is the number of attempts the job consumed.
+        Self::job_span(id).close_on(&*sink, attempts);
         self.finish_files(id, state, &sink);
     }
 
@@ -549,6 +754,10 @@ impl<R: ExperimentRunner> Supervisor<R> {
         if let Some(rec) = inner.jobs.get_mut(&id) {
             rec.state = JobState::Queued;
             rec.token = None;
+            rec.waits += 1;
+            rec.queued_at = Instant::now();
+            // A parked job waits again: open the next queue-wait span.
+            Self::job_span(id).child("queue_wait", rec.waits).open_on(&*rec.sink);
             // End live watch streams; watchers reconnect after restart.
             rec.sink.disconnect_subscribers();
         }
@@ -556,12 +765,19 @@ impl<R: ExperimentRunner> Supervisor<R> {
     }
 
     fn run_job(&self, id: u64) {
-        let (spec, sink) = {
+        let job = Self::job_span(id);
+        let (spec, sink, wait_ms, waits) = {
             let mut inner = self.inner.lock().expect("supervisor poisoned");
             let Some(rec) = inner.jobs.get_mut(&id) else { return };
             rec.state = JobState::Running;
-            (rec.spec.clone(), Arc::clone(&rec.sink))
+            let wait_ms = rec.queued_at.elapsed().as_secs_f64() * 1e3;
+            (rec.spec.clone(), Arc::clone(&rec.sink), wait_ms, rec.waits)
         };
+        self.stats.lock().expect("stats poisoned").queue_wait_ms.record(wait_ms);
+        // Close the pending queue-wait span. Its open may sit on the
+        // other side of a server restart — the replayed stream then shows
+        // one queue wait arcing over the outage, which is the truth.
+        job.child("queue_wait", waits).close_on(&*sink, waits);
         let policy = RetryPolicy {
             max_retries: spec.max_retries,
             base_ms: spec.backoff_ms,
@@ -612,8 +828,19 @@ impl<R: ExperimentRunner> Supervisor<R> {
                 return;
             }
             sink.emit(Event::JobStarted { job: id, attempt: u64::from(attempt) });
-            let ctx = JobCtx { token: &token, sink: &sink, checkpoint: &ckpt };
+            // The attempt span brackets exactly one runner invocation;
+            // its id is what the runner hangs shard spans below.
+            let attempt_span = job.child("attempt", u64::from(attempt));
+            attempt_span.open_on(&*sink);
+            let ctx =
+                JobCtx { token: &token, sink: &sink, checkpoint: &ckpt, span: attempt_span.id };
+            let run_started = Instant::now();
             let status = catch_unwind(AssertUnwindSafe(|| self.runner.run(&spec, &ctx)));
+            self.stats
+                .lock()
+                .expect("stats poisoned")
+                .run_ms
+                .record(run_started.elapsed().as_secs_f64() * 1e3);
             {
                 let mut inner = self.inner.lock().expect("supervisor poisoned");
                 if let Some(rec) = inner.jobs.get_mut(&id) {
@@ -623,8 +850,10 @@ impl<R: ExperimentRunner> Supervisor<R> {
             let (reason, transient) = match status {
                 Ok(RunStatus::Done { csv }) => {
                     if let Err(e) = std::fs::write(self.csv_path(id), csv) {
+                        attempt_span.close_on(&*sink, 0);
                         ("result write failed: ".to_string() + &e.to_string(), false)
                     } else {
+                        attempt_span.close_on(&*sink, spec.trials as u64);
                         self.finish(
                             id,
                             JobState::Completed,
@@ -633,26 +862,33 @@ impl<R: ExperimentRunner> Supervisor<R> {
                         return;
                     }
                 }
-                Ok(RunStatus::Interrupted(i)) => match i.reason {
-                    CancelReason::Cancelled => {
-                        self.finish(id, JobState::Cancelled, Event::JobCancelled { job: id });
-                        return;
+                Ok(RunStatus::Interrupted(i)) => {
+                    attempt_span.close_on(&*sink, i.completed_trials as u64);
+                    match i.reason {
+                        CancelReason::Cancelled => {
+                            self.finish(id, JobState::Cancelled, Event::JobCancelled { job: id });
+                            return;
+                        }
+                        CancelReason::DeadlineExceeded => {
+                            self.finish(
+                                id,
+                                JobState::DeadlineExceeded,
+                                Event::JobDeadlineExceeded { job: id },
+                            );
+                            return;
+                        }
+                        CancelReason::Shutdown => {
+                            self.park(id);
+                            return;
+                        }
                     }
-                    CancelReason::DeadlineExceeded => {
-                        self.finish(
-                            id,
-                            JobState::DeadlineExceeded,
-                            Event::JobDeadlineExceeded { job: id },
-                        );
-                        return;
-                    }
-                    CancelReason::Shutdown => {
-                        self.park(id);
-                        return;
-                    }
-                },
-                Ok(RunStatus::Failed { reason, transient }) => (reason, transient),
+                }
+                Ok(RunStatus::Failed { reason, transient }) => {
+                    attempt_span.close_on(&*sink, 0);
+                    (reason, transient)
+                }
                 Err(panic) => {
+                    attempt_span.close_on(&*sink, 0);
                     let msg = panic
                         .downcast_ref::<&str>()
                         .map(|s| (*s).to_string())
@@ -676,10 +912,17 @@ impl<R: ExperimentRunner> Supervisor<R> {
                 attempt: u64::from(attempt + 1),
                 backoff_ms: backoff,
             });
+            // The backoff span's extent is the *planned* sleep — a pure
+            // function of the retry policy, so the stream stays
+            // deterministic; the measured sleep goes to the histogram.
+            let backoff_span = job.child("backoff", u64::from(attempt));
+            backoff_span.open_on(&*sink);
+            self.stats.lock().expect("stats poisoned").backoff_ms.record(backoff as f64);
             // Sleep in slices so shutdown and cancel stay responsive.
             let wake = Instant::now() + Duration::from_millis(backoff);
             loop {
                 if self.shutdown.load(Ordering::SeqCst) {
+                    backoff_span.close_on(&*sink, backoff);
                     self.park(id);
                     return;
                 }
@@ -688,6 +931,7 @@ impl<R: ExperimentRunner> Supervisor<R> {
                     inner.jobs.get(&id).is_some_and(|r| r.cancel_requested)
                 };
                 if cancelled {
+                    backoff_span.close_on(&*sink, backoff);
                     self.finish(id, JobState::Cancelled, Event::JobCancelled { job: id });
                     return;
                 }
@@ -697,6 +941,7 @@ impl<R: ExperimentRunner> Supervisor<R> {
                 }
                 std::thread::sleep((wake - now).min(Duration::from_millis(10)));
             }
+            backoff_span.close_on(&*sink, backoff);
         }
     }
 }

@@ -9,7 +9,7 @@ use emask_serve::{
     client, ExperimentRunner, JobCtx, JobSpec, JobState, RejectReason, RunStatus, ServerConfig,
     Supervisor, SupervisorConfig,
 };
-use emask_telemetry::{Event, EventSink};
+use emask_telemetry::{Event, EventSink, Span};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -223,6 +223,50 @@ fn exhausted_retries_fail_the_job_permanently() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The causal-span contract: a completed job's history brackets the
+/// lifecycle with deterministically-derived span ids — job around
+/// everything, one queue wait ending at dequeue, one attempt per
+/// `job_started` — and a retried job adds backoff spans between
+/// attempts, all with parent links matching the pure derivation.
+#[test]
+fn span_stream_nests_job_attempt_and_backoff_deterministically() {
+    let dir = state_dir("spans");
+    let runner = StepRunner::new(0);
+    runner.panic_attempts.store(1, Ordering::SeqCst);
+    let sup = Arc::new(Supervisor::new(SupervisorConfig::new(dir.clone()), runner).unwrap());
+    with_executor(&sup, |sup| {
+        let id = sup.submit(JobSpec { max_retries: 1, backoff_ms: 5, ..spec(20) }).unwrap();
+        assert_eq!(wait_terminal(sup, id), JobState::Completed);
+    });
+    let events = std::fs::read_to_string(dir.join("job-1.events.jsonl")).unwrap();
+    let job = Span::root("job", 1);
+    // Open events carry the parent link of the derived tree.
+    for (span, items) in [
+        (job, 2),                        // closes with the attempt count
+        (job.child("queue_wait", 1), 1), // closes with the enqueue count
+        (job.child("attempt", 1), 0),    // the injected panic: no trials
+        (job.child("backoff", 1), 5),    // closes with the planned ms
+        (job.child("attempt", 2), 20),   // the successful attempt
+    ] {
+        let open = span.opened().to_json();
+        let close = span.closed(items).to_json();
+        assert!(events.contains(&open), "missing {open} in {events}");
+        assert!(events.contains(&close), "missing {close} in {events}");
+    }
+    // Bracketing: the job span opens before and closes after everything.
+    let lines: Vec<&str> = events.lines().collect();
+    let pos = |needle: &str| lines.iter().position(|l| l.contains(needle)).unwrap();
+    assert!(pos(&job.opened().to_json()) < pos(&job.child("attempt", 1).opened().to_json()));
+    assert_eq!(
+        lines.len() - 1,
+        pos(&job.closed(2).to_json()),
+        "job close is the final history line: {events}"
+    );
+    // Every open has a close: the stream balances.
+    assert_eq!(events.matches("span_opened").count(), events.matches("span_closed").count());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn admission_control_rejects_with_typed_reasons() {
     let dir = state_dir("admission");
@@ -316,6 +360,30 @@ fn socket_protocol_round_trip() {
 
     let status = client::status(&socket).unwrap();
     assert!(status.contains("\"state\":\"completed\""), "got: {status}");
+
+    // The stats verb: strict JSON with gauges, per-state counts, latency
+    // quantiles, and the dropped-event ledger.
+    let stats_line = client::stats(&socket).unwrap();
+    let doc = emask_serve::json::parse(&stats_line).unwrap();
+    use emask_serve::json::Json;
+    assert_eq!(doc.get("queue_depth").and_then(Json::as_u64), Some(0));
+    let states = doc.get("states").unwrap();
+    assert_eq!(states.get("completed").and_then(Json::as_u64), Some(1));
+    assert_eq!(states.get("running").and_then(Json::as_u64), Some(0));
+    let latencies = doc.get("latencies").unwrap();
+    for name in ["queue_wait_ms", "run_ms", "backoff_ms"] {
+        let l = latencies.get(name).unwrap_or_else(|| panic!("no {name} in {stats_line}"));
+        for field in ["count", "mean", "min", "max", "p50", "p95", "p99"] {
+            assert!(l.get(field).is_some(), "no {name}.{field} in {stats_line}");
+        }
+    }
+    assert_eq!(
+        latencies.get("queue_wait_ms").unwrap().get("count").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(latencies.get("run_ms").unwrap().get("count").and_then(Json::as_u64), Some(1));
+    assert!(doc.get("dropped_events").and_then(Json::as_u64).is_some(), "got: {stats_line}");
+    assert!(doc.get("dropped_by_kind").is_some(), "got: {stats_line}");
     // Bad specs come back as typed rejections over the wire.
     let err = client::submit(&socket, "{\"experiment\":\"bogus\"}").unwrap_err();
     assert!(

@@ -100,6 +100,11 @@ pub enum Event {
         /// that (normal) case, and a nonzero value is precisely the
         /// signal that heartbeats were silently shed.
         dropped_events: u64,
+        /// The same drops broken down by event kind (ascending by kind
+        /// tag; empty when nothing was shed), so a reader can tell shed
+        /// trial heartbeats from shed checkpoint notices. See
+        /// [`EventSink::dropped_by_kind`].
+        dropped_by_kind: Vec<(String, u64)>,
     },
     /// Replayable job-lifecycle event: the job entered the service queue.
     JobQueued {
@@ -152,6 +157,47 @@ pub enum Event {
         /// or `"deadline_exceeded"`.
         outcome: String,
     },
+    /// Replayable: a causal span opened (see [`crate::span`]). Emitted
+    /// only at deterministic points, so the span stream keeps the
+    /// byte-identity contract.
+    SpanOpened {
+        /// Deterministic span id ([`crate::SpanId`]).
+        span: u64,
+        /// The parent span's id (0 for top-level spans).
+        parent: u64,
+        /// Span kind: `"job"`, `"attempt"`, `"queue_wait"`, `"backoff"`,
+        /// `"shard"`, `"trial"`, …
+        name: String,
+        /// Sibling index (job id, attempt number, shard index, …).
+        index: u64,
+    },
+    /// Replayable: a causal span closed. Consumers pair it with the
+    /// nearest prior unmatched open of the same id.
+    SpanClosed {
+        /// Deterministic span id.
+        span: u64,
+        /// Logical extent of the span — trials in a shard, planned
+        /// backoff milliseconds; never wall clock.
+        items: u64,
+    },
+    /// Operational: a periodic snapshot of the service gauges, pushed
+    /// into live watch streams so a dashboard needs no polling. Values
+    /// are whole-service (not per-job) and scheduling-dependent, so the
+    /// event never enters the replayable stream.
+    ServiceMetrics {
+        /// Jobs waiting in the queue.
+        queued: u64,
+        /// Jobs currently executing.
+        running: u64,
+        /// Jobs finished successfully.
+        completed: u64,
+        /// Jobs failed permanently.
+        failed: u64,
+        /// Jobs cancelled by a client.
+        cancelled: u64,
+        /// Jobs that ran out of wall-clock budget.
+        deadline_exceeded: u64,
+    },
     /// Operational: one trial finished on some worker.
     TrialCompleted {
         /// Trial index.
@@ -195,8 +241,34 @@ impl Event {
                 | Event::JobDeadlineExceeded { .. }
                 | Event::JobResumed { .. }
                 | Event::JobCompleted { .. }
+                | Event::SpanOpened { .. }
+                | Event::SpanClosed { .. }
         )
     }
+
+    /// Every event tag, ascending — the authority consumers (e.g.
+    /// `repro events validate`) check unknown streams against.
+    pub const KINDS: [&'static str; 19] = [
+        "campaign_completed",
+        "campaign_started",
+        "checkpoint_written",
+        "dpa_convergence",
+        "fault_outcome",
+        "job_cancelled",
+        "job_completed",
+        "job_deadline_exceeded",
+        "job_queued",
+        "job_resumed",
+        "job_retried",
+        "job_started",
+        "recovery_attempted",
+        "service_metrics",
+        "shard_completed",
+        "span_closed",
+        "span_opened",
+        "trial_completed",
+        "tvla_convergence",
+    ];
 
     /// The event's type tag, as it appears in the JSON `"event"` field.
     #[must_use]
@@ -214,6 +286,9 @@ impl Event {
             Event::JobDeadlineExceeded { .. } => "job_deadline_exceeded",
             Event::JobResumed { .. } => "job_resumed",
             Event::JobCompleted { .. } => "job_completed",
+            Event::SpanOpened { .. } => "span_opened",
+            Event::SpanClosed { .. } => "span_closed",
+            Event::ServiceMetrics { .. } => "service_metrics",
             Event::TrialCompleted { .. } => "trial_completed",
             Event::ShardCompleted { .. } => "shard_completed",
             Event::CheckpointWritten { .. } => "checkpoint_written",
@@ -259,8 +334,18 @@ impl Event {
             Event::FaultOutcome { trial, outcome } => {
                 let _ = write!(s, r#","trial":{trial},"outcome":"{}""#, escape_json(outcome));
             }
-            Event::CampaignCompleted { trials, dropped_events } => {
-                let _ = write!(s, r#","trials":{trials},"dropped_events":{dropped_events}"#);
+            Event::CampaignCompleted { trials, dropped_events, dropped_by_kind } => {
+                let _ = write!(
+                    s,
+                    r#","trials":{trials},"dropped_events":{dropped_events},"dropped_by_kind":{{"#
+                );
+                for (i, (kind, n)) in dropped_by_kind.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, r#""{}":{n}"#, escape_json(kind));
+                }
+                s.push('}');
             }
             Event::JobQueued { job, experiment, trials } => {
                 let _ = write!(
@@ -282,6 +367,29 @@ impl Event {
             }
             Event::JobCompleted { job, outcome } => {
                 let _ = write!(s, r#","job":{job},"outcome":"{}""#, escape_json(outcome));
+            }
+            Event::SpanOpened { span, parent, name, index } => {
+                let _ = write!(
+                    s,
+                    r#","span":{span},"parent":{parent},"name":"{}","index":{index}"#,
+                    escape_json(name)
+                );
+            }
+            Event::SpanClosed { span, items } => {
+                let _ = write!(s, r#","span":{span},"items":{items}"#);
+            }
+            Event::ServiceMetrics {
+                queued,
+                running,
+                completed,
+                failed,
+                cancelled,
+                deadline_exceeded,
+            } => {
+                let _ = write!(
+                    s,
+                    r#","queued":{queued},"running":{running},"completed":{completed},"failed":{failed},"cancelled":{cancelled},"deadline_exceeded":{deadline_exceeded}"#
+                );
             }
             Event::TrialCompleted { trial } => {
                 let _ = write!(s, r#","trial":{trial}"#);
@@ -326,6 +434,15 @@ pub trait EventSink: Sync {
     fn dropped(&self) -> u64 {
         0
     }
+
+    /// The shed events broken down by [`Event::kind`], ascending by kind
+    /// tag. Lossless sinks (the default) report nothing; lossy sinks keep
+    /// per-kind counters so a reader can tell which signal was lost —
+    /// shed trial heartbeats are routine, shed checkpoint notices are
+    /// not. The entries sum to [`EventSink::dropped`].
+    fn dropped_by_kind(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
 }
 
 /// The discarding sink: `ACTIVE = false`, so guarded emission sites
@@ -349,6 +466,10 @@ impl<S: EventSink> EventSink for &S {
     fn dropped(&self) -> u64 {
         (**self).dropped()
     }
+
+    fn dropped_by_kind(&self) -> Vec<(String, u64)> {
+        (**self).dropped_by_kind()
+    }
 }
 
 #[cfg(test)]
@@ -370,7 +491,7 @@ mod tests {
             },
             Event::TvlaConvergence { trials: 4, max_t: 9.5, at_cycle: 2, leaky_cycles: 6 },
             Event::FaultOutcome { trial: 3, outcome: "detected".into() },
-            Event::CampaignCompleted { trials: 8, dropped_events: 0 },
+            Event::CampaignCompleted { trials: 8, dropped_events: 0, dropped_by_kind: vec![] },
             Event::JobQueued { job: 1, experiment: "fault".into(), trials: 8 },
             Event::JobStarted { job: 1, attempt: 1 },
             Event::JobRetried { job: 1, attempt: 2, backoff_ms: 250 },
@@ -378,12 +499,22 @@ mod tests {
             Event::JobDeadlineExceeded { job: 1 },
             Event::JobResumed { job: 1 },
             Event::JobCompleted { job: 1, outcome: "completed".into() },
+            Event::SpanOpened { span: 7, parent: 0, name: "job".into(), index: 1 },
+            Event::SpanClosed { span: 7, items: 8 },
         ];
         let operational = [
             Event::TrialCompleted { trial: 0 },
             Event::ShardCompleted { shard: 1, len: 16 },
             Event::CheckpointWritten { shards_done: 2 },
             Event::RecoveryAttempted { trial: 5 },
+            Event::ServiceMetrics {
+                queued: 1,
+                running: 1,
+                completed: 0,
+                failed: 0,
+                cancelled: 0,
+                deadline_exceeded: 0,
+            },
         ];
         assert!(replayable.iter().all(Event::is_replayable));
         assert!(operational.iter().all(|e| !e.is_replayable()));
@@ -413,6 +544,22 @@ mod tests {
             e.to_json(),
             r#"{"event":"dpa_convergence","trials":128,"best_guess":27,"best_peak":0.5,"margin":1.25,"peak_cycle":91,"ranks":[27,3,60]}"#
         );
+        let e = Event::SpanOpened { span: 11, parent: 3, name: "shard".into(), index: 4 };
+        assert_eq!(
+            e.to_json(),
+            r#"{"event":"span_opened","span":11,"parent":3,"name":"shard","index":4}"#
+        );
+        let e = Event::SpanClosed { span: 11, items: 12 };
+        assert_eq!(e.to_json(), r#"{"event":"span_closed","span":11,"items":12}"#);
+        let e = Event::CampaignCompleted {
+            trials: 4,
+            dropped_events: 3,
+            dropped_by_kind: vec![("shard_completed".into(), 1), ("trial_completed".into(), 2)],
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"event":"campaign_completed","trials":4,"dropped_events":3,"dropped_by_kind":{"shard_completed":1,"trial_completed":2}}"#
+        );
     }
 
     #[test]
@@ -429,7 +576,11 @@ mod tests {
             },
             Event::TvlaConvergence { trials: 1, max_t: 0.0, at_cycle: 0, leaky_cycles: 0 },
             Event::FaultOutcome { trial: 0, outcome: "no-effect".into() },
-            Event::CampaignCompleted { trials: 1, dropped_events: 0 },
+            Event::CampaignCompleted {
+                trials: 1,
+                dropped_events: 1,
+                dropped_by_kind: vec![("trial_completed".into(), 1)],
+            },
             Event::JobQueued { job: 0, experiment: "dpa".into(), trials: 1 },
             Event::JobStarted { job: 0, attempt: 1 },
             Event::JobRetried { job: 0, attempt: 2, backoff_ms: 0 },
@@ -437,6 +588,16 @@ mod tests {
             Event::JobDeadlineExceeded { job: 0 },
             Event::JobResumed { job: 0 },
             Event::JobCompleted { job: 0, outcome: "failed".into() },
+            Event::SpanOpened { span: 1, parent: 0, name: "job".into(), index: 1 },
+            Event::SpanClosed { span: 1, items: 0 },
+            Event::ServiceMetrics {
+                queued: 0,
+                running: 0,
+                completed: 0,
+                failed: 0,
+                cancelled: 0,
+                deadline_exceeded: 0,
+            },
             Event::TrialCompleted { trial: 0 },
             Event::ShardCompleted { shard: 0, len: 1 },
             Event::CheckpointWritten { shards_done: 1 },
@@ -447,6 +608,11 @@ mod tests {
             assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
             assert!(json.starts_with(&format!(r#"{{"event":"{}""#, e.kind())), "{json}");
         }
+        // The KINDS table is the complete, sorted vocabulary.
+        let mut kinds: Vec<&str> = all.iter().map(Event::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds, Event::KINDS, "KINDS must list every variant, ascending");
     }
 
     #[test]

@@ -94,28 +94,44 @@ impl RunObserver for CycleCsv {
 ///
 /// One row per phase (marker order, including the synthetic `startup`
 /// region) plus a trailing `total` row; columns are
-/// `phase,start_cycle,cycles,<components…>,total_pj`. Each named phase's
-/// `total_pj` equals the sum of `EncryptionRun::phase_trace` for that
-/// phase, by the shared start-inclusive attribution convention.
+/// `phase,start_cycle,cycles,<components…>,total_pj,min_pj,max_pj,p50_pj,p95_pj,p99_pj`.
+/// Each named phase's `total_pj` equals the sum of
+/// `EncryptionRun::phase_trace` for that phase, by the shared
+/// start-inclusive attribution convention. The five distribution columns
+/// describe the run-wide per-cycle energy histogram
+/// ([`MetricsSnapshot::cycle_energy`], quantiles per
+/// [`Histogram::quantile`](crate::Histogram::quantile)); the histogram is
+/// not phase-attributed, so phase rows leave them empty and only the
+/// `total` row carries values.
 pub fn metrics_csv(snap: &MetricsSnapshot) -> String {
     let mut out = String::from("phase,start_cycle,cycles");
     for c in COMPONENT_COLUMNS {
         out.push(',');
         out.push_str(c);
     }
-    out.push_str(",total_pj\n");
+    out.push_str(",total_pj,min_pj,max_pj,p50_pj,p95_pj,p99_pj\n");
     for p in &snap.phases {
         let _ = write!(out, "{},{},{}", p.name, p.start_cycle, p.cycles);
         for v in component_values(&p.energy) {
             let _ = write!(out, ",{v}");
         }
-        let _ = writeln!(out, ",{}", p.energy.total());
+        let _ = writeln!(out, ",{},,,,,", p.energy.total());
     }
     let _ = write!(out, "total,0,{}", snap.cycles);
     for v in component_values(&snap.energy) {
         let _ = write!(out, ",{v}");
     }
-    let _ = writeln!(out, ",{}", snap.energy.total());
+    let h = &snap.cycle_energy;
+    let _ = writeln!(
+        out,
+        ",{},{},{},{},{},{}",
+        snap.energy.total(),
+        h.min(),
+        h.max(),
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99)
+    );
     out
 }
 
@@ -454,15 +470,32 @@ mod tests {
 
     #[test]
     fn metrics_csv_has_phase_and_total_rows() {
-        let csv = metrics_csv(&tiny_snapshot());
+        let snap = tiny_snapshot();
+        let csv = metrics_csv(&snap);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 4); // header + startup + round 1 + total
         assert!(lines[0].starts_with("phase,start_cycle,cycles,inst_bus"));
+        assert!(lines[0].ends_with(",total_pj,min_pj,max_pj,p50_pj,p95_pj,p99_pj"));
         assert!(lines[1].starts_with("startup,0,1,"));
         assert!(lines[2].starts_with("round 1,1,1,"));
         assert!(lines[3].starts_with("total,0,2,"));
-        // Phase totals sum to the grand total.
-        let total = |line: &str| line.rsplit(',').next().unwrap().parse::<f64>().unwrap();
+        // Every row has a value (possibly empty) for every header column.
+        let cols = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols, "{line}");
+        }
+        // The distribution columns are phase-blind: empty on phase rows,
+        // populated from the run-wide histogram on the total row.
+        let fields = |line: &str| line.split(',').map(str::to_string).collect::<Vec<_>>();
+        for line in &lines[1..3] {
+            assert!(fields(line)[cols - 5..].iter().all(String::is_empty), "{line}");
+        }
+        let total_fields = fields(lines[3]);
+        assert_eq!(total_fields[cols - 5], format!("{}", snap.cycle_energy.min()));
+        assert_eq!(total_fields[cols - 4], format!("{}", snap.cycle_energy.max()));
+        assert_eq!(total_fields[cols - 3], format!("{}", snap.cycle_energy.quantile(0.50)));
+        // Phase totals sum to the grand total (total_pj is 6th from the end).
+        let total = |line: &str| fields(line)[cols - 6].parse::<f64>().unwrap();
         assert!((total(lines[1]) + total(lines[2]) - total(lines[3])).abs() < 1e-12);
     }
 

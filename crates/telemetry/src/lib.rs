@@ -23,6 +23,10 @@
 //!   stream: structured replayable + operational events, a zero-cost
 //!   null sink (same compile-time routing as `PipelineHook`), and a
 //!   bounded backpressure-aware bus for live consumers.
+//! * [`Span`] / [`SpanId`] — causal spans over the event stream:
+//!   deterministic hierarchical ids (job → attempt → shard → trial)
+//!   emitted as replayable open/close events, rebuildable offline into a
+//!   nested Chrome trace.
 //!
 //! ## Example
 //!
@@ -47,6 +51,7 @@ pub mod events;
 pub mod export;
 pub mod metrics;
 pub mod observer;
+pub mod span;
 pub mod stream;
 
 pub use chrome::{escape_json, ChromeTrace};
@@ -61,4 +66,5 @@ pub use metrics::{
     OP_CLASSES,
 };
 pub use observer::{PhaseEvent, RunObserver};
+pub use span::{Span, SpanId};
 pub use stream::{EventBus, DEFAULT_BUS_CAPACITY};

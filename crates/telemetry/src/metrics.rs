@@ -186,6 +186,51 @@ impl Histogram {
         }
     }
 
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated from the bucket counts.
+    ///
+    /// Semantics, fixed so service dashboards agree across versions:
+    ///
+    /// * The population is **every** recorded sample (`count()`), ordered
+    ///   by bucket; overflow samples (too large or non-finite) sort last,
+    ///   "past the final bucket edge".
+    /// * Within the bucket containing the target rank `q·count()`, the
+    ///   value is **linearly interpolated** across the bucket's width —
+    ///   rank fraction `f` of a bucket `[k·w, (k+1)·w)` maps to
+    ///   `(k + f)·w`.
+    /// * Results clamp to the observed finite `[min(), max()]`, so
+    ///   `quantile(0.0) == min()` and `quantile(1.0) == max()`; a rank
+    ///   landing in overflow reports `max()` (the histogram knows no
+    ///   better upper bound).
+    /// * An empty histogram reports 0, like the other accessors; `q`
+    ///   outside `[0, 1]` clamps.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.n as f64;
+        // Rank 0 is the smallest sample itself — interpolating inside
+        // bucket 0 would misreport negative samples (they clamp into
+        // bucket 0 but sit below its nominal lower edge).
+        if target <= 0.0 {
+            return self.min();
+        }
+        let mut below = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let through = below + c;
+            if target <= through as f64 {
+                let frac = (target - below as f64) / c as f64;
+                let v = (k as f64 + frac) * self.width;
+                return v.clamp(self.min(), self.max());
+            }
+            below = through;
+        }
+        self.max()
+    }
+
     /// Absorbs another histogram's samples, bucket by bucket.
     ///
     /// # Errors
@@ -527,6 +572,63 @@ mod tests {
         assert_eq!(clean.finite_count(), 3);
         assert!(clean.mean().is_finite());
         assert_eq!(clean.max(), 25.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets_and_clamp_to_observed_range() {
+        let mut h = Histogram::new(10.0, 4);
+        // 10 samples, uniformly one per unit across [0, 10): bucket 0
+        // holds all of them.
+        for i in 0..10 {
+            h.record(f64::from(i));
+        }
+        // Rank q·10 interpolated across bucket [0, 10).
+        assert!((h.quantile(0.5) - 5.0).abs() < 1e-12);
+        assert!((h.quantile(0.95) - 9.0).abs() < 1e-12, "clamped to max 9.0");
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+        // Out-of-range q clamps.
+        assert_eq!(h.quantile(-3.0), h.min());
+        assert_eq!(h.quantile(7.0), h.max());
+
+        // Two occupied buckets: the p50 boundary falls exactly between
+        // them, the p75 sits mid-way through the upper bucket.
+        let mut two = Histogram::new(10.0, 4);
+        for v in [1.0, 2.0, 21.0, 29.0] {
+            two.record(v);
+        }
+        assert!((two.quantile(0.5) - 10.0).abs() < 1e-12);
+        assert!((two.quantile(0.75) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_of_empty_and_overflow_heavy_histograms() {
+        let empty = Histogram::new(1.0, 4);
+        assert_eq!(empty.quantile(0.5), 0.0);
+
+        let mut h = Histogram::new(10.0, 2);
+        h.record(5.0);
+        for _ in 0..9 {
+            h.record(1_000.0); // overflow
+        }
+        // p50 lands among the overflow samples: the histogram only knows
+        // "past the last edge", so it reports the observed max.
+        assert_eq!(h.quantile(0.5), 1_000.0);
+        assert_eq!(h.quantile(0.05), 5.0, "clamps to min");
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut h = Histogram::new(5.0, 8);
+        for v in [0.0, 2.0, 7.0, 7.5, 12.0, 19.0, 33.0, 50.0] {
+            h.record(v);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let v = h.quantile(f64::from(i) / 100.0);
+            assert!(v >= last, "q={}: {v} < {last}", f64::from(i) / 100.0);
+            last = v;
+        }
     }
 
     #[test]

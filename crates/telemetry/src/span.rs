@@ -1,0 +1,228 @@
+//! Causal spans: deterministic hierarchical ids over the event stream.
+//!
+//! A service job is a tree of work — the job arcs over queue waits,
+//! execution attempts, and retry backoffs; each attempt arcs over the
+//! campaign's shards; each shard over its trials. This module gives that
+//! tree **identity**: a [`Span`] couples a deterministic 64-bit id
+//! ([`SpanId`]) to its parent's id, and renders as a pair of replayable
+//! events ([`Event::SpanOpened`] / [`Event::SpanClosed`]) in the same
+//! JSONL stream as the rest of the campaign history. An offline consumer
+//! (`repro events trace`) rebuilds the tree from the parent links and the
+//! open/close bracketing and renders it as one nested Chrome trace.
+//!
+//! ## Determinism
+//!
+//! Span ids are a pure function of the path from the root —
+//! `job 3 → attempt 1 → shard 7` always hashes to the same id, on any
+//! worker count, before or after a resume. Span events carry **no wall
+//! clock**: the `items` payload on close is a logical extent (trials in a
+//! shard, planned backoff milliseconds), and producers emit open/close
+//! pairs only at deterministic points (the supervisor's sequential
+//! lifecycle transitions; the post-merge shard ladder, never live from
+//! workers). That keeps the PR-5 contract intact: the replayable stream
+//! — now including spans — stays byte-identical at any `--jobs` count
+//! and across a SIGTERM + resume. Wall-clock timing lives elsewhere, in
+//! the supervisor's latency histograms (the `stats` verb) and the lossy
+//! operational plane.
+//!
+//! ## Zero cost when disabled
+//!
+//! Emission goes through [`Span::open_on`] / [`Span::close_on`], which
+//! are guarded by [`EventSink::ACTIVE`] — with
+//! [`NullSink`](crate::NullSink) installed, span construction and
+//! emission compile away exactly like every other `if S::ACTIVE` site,
+//! leaving the unobserved hot path untouched.
+
+use crate::events::{Event, EventSink};
+
+/// A deterministic 64-bit span identity.
+///
+/// Ids are derived by hashing the parent id with the child's name and
+/// index ([`SpanId::child`]), so the id of `job 3 / attempt 1 / shard 7`
+/// is the same in every run that reaches that node. The root id is 0 and
+/// is never emitted — it only anchors derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(u64);
+
+/// SplitMix64 finalizer: cheap, well-mixed, and stable — exactly what a
+/// deterministic id needs. (Also used by `emask-par`'s seed derivation.)
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl SpanId {
+    /// The derivation anchor; not a real span.
+    pub const ROOT: SpanId = SpanId(0);
+
+    /// Derives the id of the `(name, index)` child — a pure function, so
+    /// every run derives the same tree.
+    ///
+    /// Ids are confined to 63 bits so the decimal rendering fits a
+    /// signed 64-bit integer — every JSON parser that stores integers as
+    /// `i64` (including the service's own) round-trips them losslessly.
+    #[must_use]
+    pub fn child(self, name: &str, index: u64) -> SpanId {
+        let mut h = mix(self.0 ^ 0x5EA5_0000_0000_0001);
+        for &b in name.as_bytes() {
+            h = mix(h ^ u64::from(b));
+        }
+        SpanId(mix(h ^ index) & 0x7FFF_FFFF_FFFF_FFFF)
+    }
+
+    /// The raw id, as it appears in the `span`/`parent` JSON fields.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One node of the causal tree, ready to emit.
+///
+/// A `Span` is plain data — opening and closing are just events on a
+/// sink, so a span can be closed by code that re-derives it (the
+/// supervisor closes the queue-wait span it opened in an earlier call)
+/// and the same id may open again later (a second attempt after a park);
+/// consumers pair each close with the nearest prior unmatched open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// This span's id.
+    pub id: SpanId,
+    /// The parent's id ([`SpanId::ROOT`] for top-level spans).
+    pub parent: SpanId,
+    /// Span kind: `"job"`, `"attempt"`, `"queue_wait"`, `"backoff"`,
+    /// `"shard"`, `"trial"`, …
+    pub name: &'static str,
+    /// Which sibling this is (job id, attempt number, shard index, …).
+    pub index: u64,
+}
+
+impl Span {
+    /// A top-level span (parent = [`SpanId::ROOT`]).
+    #[must_use]
+    pub fn root(name: &'static str, index: u64) -> Span {
+        Span::below(SpanId::ROOT, name, index)
+    }
+
+    /// A child of this span.
+    #[must_use]
+    pub fn child(&self, name: &'static str, index: u64) -> Span {
+        Span::below(self.id, name, index)
+    }
+
+    /// A child of a bare parent id — how a runner hangs its shard spans
+    /// under the attempt id the supervisor handed it.
+    #[must_use]
+    pub fn below(parent: SpanId, name: &'static str, index: u64) -> Span {
+        Span { id: parent.child(name, index), parent, name, index }
+    }
+
+    /// The replayable open event for this span.
+    #[must_use]
+    pub fn opened(&self) -> Event {
+        Event::SpanOpened {
+            span: self.id.raw(),
+            parent: self.parent.raw(),
+            name: self.name.to_string(),
+            index: self.index,
+        }
+    }
+
+    /// The replayable close event; `items` is the span's logical extent
+    /// (trials in a shard, planned backoff ms — never wall clock).
+    #[must_use]
+    pub fn closed(&self, items: u64) -> Event {
+        Event::SpanClosed { span: self.id.raw(), items }
+    }
+
+    /// Emits the open event — compiled away when `S::ACTIVE` is false.
+    pub fn open_on<S: EventSink>(&self, sink: &S) {
+        if S::ACTIVE {
+            sink.emit(self.opened());
+        }
+    }
+
+    /// Emits the close event — compiled away when `S::ACTIVE` is false.
+    pub fn close_on<S: EventSink>(&self, sink: &S, items: u64) {
+        if S::ACTIVE {
+            sink.emit(self.closed(items));
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::events::NullSink;
+    use std::sync::Mutex;
+
+    #[test]
+    fn ids_are_deterministic_functions_of_the_path() {
+        let a = Span::root("job", 3).child("attempt", 1).child("shard", 7);
+        let b = Span::root("job", 3).child("attempt", 1).child("shard", 7);
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.parent, b.parent);
+        // Sibling and cross-level collisions would corrupt the tree.
+        let sibling = Span::root("job", 3).child("attempt", 1).child("shard", 8);
+        let other_level = Span::root("job", 3).child("attempt", 2).child("shard", 7);
+        let other_name = Span::root("job", 3).child("attempt", 1).child("trial", 7);
+        for s in [sibling, other_level, other_name] {
+            assert_ne!(a.id, s.id);
+        }
+        assert_ne!(a.id, SpanId::ROOT);
+        // The i64-safety bound: no id may use the top bit.
+        for s in [a, sibling, other_level, other_name] {
+            assert!(s.id.raw() <= i64::MAX as u64, "{}", s.id.raw());
+        }
+    }
+
+    #[test]
+    fn trial_level_ids_hang_off_shards() {
+        let shard = Span::root("job", 1).child("attempt", 1).child("shard", 0);
+        let t0 = shard.child("trial", 0);
+        let t1 = shard.child("trial", 1);
+        assert_eq!(t0.parent, shard.id);
+        assert_ne!(t0.id, t1.id);
+    }
+
+    #[test]
+    fn open_close_events_are_replayable_and_carry_the_link() {
+        let span = Span::below(SpanId::ROOT.child("job", 9), "attempt", 2);
+        let open = span.opened();
+        let close = span.closed(64);
+        assert!(open.is_replayable());
+        assert!(close.is_replayable());
+        assert_eq!(open.kind(), "span_opened");
+        assert_eq!(close.kind(), "span_closed");
+        let json = open.to_json();
+        assert!(json.contains(&format!("\"span\":{}", span.id.raw())), "{json}");
+        assert!(json.contains(&format!("\"parent\":{}", span.parent.raw())), "{json}");
+        assert!(json.contains("\"name\":\"attempt\",\"index\":2"), "{json}");
+        assert!(close.to_json().ends_with(",\"items\":64}"), "{}", close.to_json());
+    }
+
+    #[test]
+    fn emission_is_guarded_by_the_sink_activity_const() {
+        // The NullSink path must stay compile-time dead.
+        const { assert!(!NullSink::ACTIVE) };
+        Span::root("job", 1).open_on(&NullSink); // compiles to nothing
+
+        struct Collect(Mutex<Vec<Event>>);
+        impl EventSink for Collect {
+            fn emit(&self, event: Event) {
+                self.0.lock().expect("collect").push(event);
+            }
+        }
+        let sink = Collect(Mutex::new(Vec::new()));
+        let span = Span::root("job", 1);
+        span.open_on(&sink);
+        span.close_on(&sink, 5);
+        let events = sink.0.lock().expect("collect");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], span.opened());
+        assert_eq!(events[1], span.closed(5));
+    }
+}

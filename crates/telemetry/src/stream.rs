@@ -25,7 +25,7 @@
 //! per event.
 
 use crate::events::{Event, EventSink};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 
 /// Default queue capacity: deep enough that a consumer flushing to disk
@@ -36,6 +36,9 @@ pub const DEFAULT_BUS_CAPACITY: usize = 1024;
 struct BusState {
     queue: VecDeque<Event>,
     dropped: u64,
+    /// Drops broken down by [`Event::kind`]. A `BTreeMap` keyed by the
+    /// static kind tag keeps the readout deterministically ordered.
+    dropped_kinds: BTreeMap<&'static str, u64>,
     closed: bool,
 }
 
@@ -60,7 +63,12 @@ impl EventBus {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         EventBus {
-            state: Mutex::new(BusState { queue: VecDeque::new(), dropped: 0, closed: false }),
+            state: Mutex::new(BusState {
+                queue: VecDeque::new(),
+                dropped: 0,
+                dropped_kinds: BTreeMap::new(),
+                closed: false,
+            }),
             ready: Condvar::new(),
             space: Condvar::new(),
             capacity: capacity.max(1),
@@ -89,6 +97,8 @@ impl EventBus {
         let mut st = self.state.lock().expect("event bus poisoned");
         if st.closed || st.queue.len() >= self.capacity {
             st.dropped = st.dropped.saturating_add(1);
+            let per_kind = st.dropped_kinds.entry(event.kind()).or_insert(0);
+            *per_kind = per_kind.saturating_add(1);
             return;
         }
         st.queue.push_back(event);
@@ -128,6 +138,14 @@ impl EventBus {
         self.state.lock().expect("event bus poisoned").dropped
     }
 
+    /// The drops broken down by event kind, ascending by kind tag.
+    /// Entries sum to [`EventBus::dropped`].
+    #[must_use]
+    pub fn dropped_by_kind(&self) -> Vec<(String, u64)> {
+        let st = self.state.lock().expect("event bus poisoned");
+        st.dropped_kinds.iter().map(|(&k, &n)| (k.to_string(), n)).collect()
+    }
+
     /// Events currently queued (diagnostic).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -162,6 +180,11 @@ impl EventSink for EventBus {
     fn dropped(&self) -> u64 {
         EventBus::dropped(self)
     }
+
+    /// The drops broken down by event kind.
+    fn dropped_by_kind(&self) -> Vec<(String, u64)> {
+        EventBus::dropped_by_kind(self)
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +213,23 @@ mod tests {
     }
 
     #[test]
+    fn drops_are_counted_per_kind() {
+        let bus = EventBus::new(1);
+        bus.try_emit(Event::TrialCompleted { trial: 0 }); // fills the queue
+        bus.try_emit(Event::TrialCompleted { trial: 1 });
+        bus.try_emit(Event::TrialCompleted { trial: 2 });
+        bus.try_emit(Event::ShardCompleted { shard: 0, len: 4 });
+        assert_eq!(bus.dropped(), 3);
+        assert_eq!(
+            bus.dropped_by_kind(),
+            vec![("shard_completed".to_string(), 1), ("trial_completed".to_string(), 2)],
+            "ascending by kind tag"
+        );
+        let total: u64 = EventSink::dropped_by_kind(&bus).iter().map(|(_, n)| n).sum();
+        assert_eq!(total, EventSink::dropped(&bus), "breakdown sums to the aggregate");
+    }
+
+    #[test]
     fn try_emit_drops_and_counts_when_full() {
         let bus = EventBus::new(2);
         bus.try_emit(Event::TrialCompleted { trial: 0 });
@@ -202,11 +242,19 @@ mod tests {
     #[test]
     fn blocking_emit_waits_for_the_consumer() {
         let bus = EventBus::new(1);
-        bus.emit(Event::CampaignCompleted { trials: 1, dropped_events: 0 });
+        bus.emit(Event::CampaignCompleted {
+            trials: 1,
+            dropped_events: 0,
+            dropped_by_kind: vec![],
+        });
         thread::scope(|scope| {
             scope.spawn(|| {
                 // Blocks until the consumer below makes space.
-                bus.emit(Event::CampaignCompleted { trials: 2, dropped_events: 0 });
+                bus.emit(Event::CampaignCompleted {
+                    trials: 2,
+                    dropped_events: 0,
+                    dropped_by_kind: vec![],
+                });
                 bus.close();
             });
             let mut buf = Vec::new();
@@ -219,13 +267,21 @@ mod tests {
     #[test]
     fn close_unblocks_producers_and_ends_the_consumer() {
         let bus = EventBus::new(1);
-        bus.emit(Event::CampaignCompleted { trials: 1, dropped_events: 0 });
+        bus.emit(Event::CampaignCompleted {
+            trials: 1,
+            dropped_events: 0,
+            dropped_by_kind: vec![],
+        });
         thread::scope(|scope| {
             scope.spawn(|| {
                 bus.close();
             });
             // The blocked emit must return (dropping its event) …
-            bus.emit(Event::CampaignCompleted { trials: 2, dropped_events: 0 });
+            bus.emit(Event::CampaignCompleted {
+                trials: 2,
+                dropped_events: 0,
+                dropped_by_kind: vec![],
+            });
             // … and the consumer must terminate after draining.
             let mut buf = Vec::new();
             while bus.drain_wait(&mut buf) {}

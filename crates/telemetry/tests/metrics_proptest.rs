@@ -136,6 +136,44 @@ proptest! {
     }
 
     #[test]
+    fn quantiles_are_monotone_and_bounded(
+        ps in samples_and_split(),
+        qa in 0u32..101,
+        qb in 0u32..101,
+    ) {
+        let (pool, _) = ps;
+        let h = record_all(&pool);
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        let (qlo, qhi) = (f64::from(lo) / 100.0, f64::from(hi) / 100.0);
+        // Monotone in q, and every quantile lies within [min, max].
+        prop_assert!(h.quantile(qlo) <= h.quantile(qhi));
+        for q in [qlo, qhi] {
+            let v = h.quantile(q);
+            prop_assert!(v.is_finite());
+            prop_assert!(v >= h.min() && v <= h.max(), "q{q}: {v} not in [{}, {}]", h.min(), h.max());
+        }
+        // The extremes pin to the exact extremes.
+        prop_assert_eq!(h.quantile(0.0), h.min());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn quantiles_survive_the_split_merge_identity(
+        ps in samples_and_split(),
+        q in 0u32..101,
+    ) {
+        // quantile() reads only counts/width/min/max — state the merge
+        // reconstructs exactly — so split+merge must answer identically
+        // to recording the whole stream, bit for bit.
+        let (pool, cut) = ps;
+        let whole = record_all(&pool);
+        let mut left = record_all(&pool[..cut]);
+        left.merge(&record_all(&pool[cut..])).expect("same shape");
+        let q = f64::from(q) / 100.0;
+        prop_assert_eq!(left.quantile(q).to_bits(), whole.quantile(q).to_bits());
+    }
+
+    #[test]
     fn registry_merge_of_splits_equals_whole(
         energies in proptest::collection::vec(0.0f64..500.0, 1..40),
         cut_frac in 0usize..40,
