@@ -157,10 +157,12 @@ pub fn summarize(text: &str) -> Result<String, String> {
     if let Some(last) = lines.iter().rfind(|l| l.kind == "tvla_convergence") {
         let _ = writeln!(
             out,
-            "  tvla: max_t {:.3} leaky_cycles {} after {} traces",
+            "  tvla: max_t {:.3} leaky_cycles {} after {} trace pairs",
             num(&last.doc, "max_t"),
             uint(&last.doc, "leaky_cycles"),
-            uint(&last.doc, "traces"),
+            // The event field is named `trials`; each TVLA trial is one
+            // fixed/random trace pair.
+            uint(&last.doc, "trials"),
         );
     }
 

@@ -109,6 +109,7 @@ impl Cfg {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::lower::lower_unit;

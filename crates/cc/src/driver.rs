@@ -243,6 +243,7 @@ pub fn compile_profiled(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use emask_cpu::Cpu;

@@ -192,6 +192,7 @@ fn hoist_expr(e: Expr, f: &Function, locals: &HashSet<String>) -> Expr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::parser::parse;

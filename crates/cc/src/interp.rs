@@ -194,6 +194,7 @@ impl IrMachine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::lower::lower_unit;

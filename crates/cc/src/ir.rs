@@ -353,6 +353,7 @@ impl fmt::Display for FuncIr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

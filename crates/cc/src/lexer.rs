@@ -329,6 +329,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

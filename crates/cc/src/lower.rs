@@ -275,6 +275,7 @@ fn bin_kind(op: BinOp) -> BinKind {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::parser::parse;

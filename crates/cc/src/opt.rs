@@ -273,6 +273,7 @@ pub fn eliminate_dead(f: &mut FuncIr) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::lower::lower_unit;

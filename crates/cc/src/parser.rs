@@ -453,6 +453,7 @@ fn binop_of(t: &Tok) -> Option<(BinOp, u8)> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

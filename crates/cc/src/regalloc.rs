@@ -237,6 +237,7 @@ pub fn allocate(f: &FuncIr, cfg: &Cfg) -> Allocation {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::lower::lower_unit;

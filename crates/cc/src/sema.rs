@@ -284,6 +284,7 @@ fn err(line: usize, message: String) -> SemaError {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::parser::parse;

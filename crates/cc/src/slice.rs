@@ -226,6 +226,7 @@ fn propagate(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::lower::lower_unit;

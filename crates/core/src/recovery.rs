@@ -22,7 +22,7 @@
 //!
 //! The entry point is [`crate::MaskedDes::encrypt_recovered`].
 
-use emask_cpu::{Cpu, CpuErrorKind};
+use emask_cpu::{CpuBackend, CpuErrorKind};
 use emask_isa::Reg;
 
 /// When the recovery runner takes a checkpoint.
@@ -103,8 +103,9 @@ pub fn recoverable(kind: CpuErrorKind) -> bool {
 /// bit-per-word key array at `key_addr` and the entire register file.
 /// Called when the rollback budget is exhausted, before the runner aborts
 /// with [`crate::RunError::Zeroized`] — a persistent fault means an attack
-/// in progress, and key destruction beats key disclosure.
-pub fn zeroize_secrets(cpu: &mut Cpu, key_addr: u32) {
+/// in progress, and key destruction beats key disclosure. Works on any
+/// [`CpuBackend`].
+pub fn zeroize_secrets<B: CpuBackend>(cpu: &mut B, key_addr: u32) {
     for i in 0..64u32 {
         // The key array was poked through the same addresses at setup, so
         // these stores cannot fail; ignore errors anyway — zeroization
@@ -120,7 +121,7 @@ pub fn zeroize_secrets(cpu: &mut Cpu, key_addr: u32) {
 mod tests {
     use super::*;
     use emask_cpu::memory::AccessError;
-    use emask_cpu::Bus;
+    use emask_cpu::{Bus, Cpu, Interpreter};
     use emask_isa::assemble;
 
     #[test]
@@ -133,21 +134,25 @@ mod tests {
     }
 
     #[test]
-    fn zeroize_clears_key_words_and_registers() {
-        let p = assemble(".data\nkey: .space 256\n.text\n halt\n").expect("asm");
-        let mut cpu = Cpu::new(&p);
-        let key_addr = p.data_addr("key");
-        for i in 0..64u32 {
-            cpu.memory_mut().store(key_addr + 4 * i, 1).expect("store");
+    fn zeroize_clears_key_words_and_registers_on_every_backend() {
+        fn check<B: CpuBackend>() {
+            let p = assemble(".data\nkey: .space 256\n.text\n halt\n").expect("asm");
+            let mut cpu = B::load(&p);
+            let key_addr = p.data_addr("key");
+            for i in 0..64u32 {
+                cpu.memory_mut().store(key_addr + 4 * i, 1).expect("store");
+            }
+            cpu.set_reg(Reg::T0, 0xDEAD_BEEF);
+            zeroize_secrets(&mut cpu, key_addr);
+            for i in 0..64u32 {
+                assert_eq!(cpu.memory().load(key_addr + 4 * i).expect("load"), 0, "{}", B::NAME);
+            }
+            for r in Reg::ALL {
+                assert_eq!(cpu.reg(r), 0, "{} {r}", B::NAME);
+            }
         }
-        cpu.set_reg(Reg::T0, 0xDEAD_BEEF);
-        zeroize_secrets(&mut cpu, key_addr);
-        for i in 0..64u32 {
-            assert_eq!(cpu.memory().load(key_addr + 4 * i).expect("load"), 0);
-        }
-        for r in Reg::ALL {
-            assert_eq!(cpu.reg(r), 0, "{r}");
-        }
+        check::<Cpu>();
+        check::<Interpreter>();
     }
 
     #[test]

@@ -9,7 +9,9 @@ use crate::recovery::{
 };
 use emask_cc::{compile, CompileError, CompileOptions, MaskPolicy, SliceReport};
 use emask_cpu::memory::AccessError;
-use emask_cpu::{Cpu, CpuCheckpoint, CpuError, CpuErrorKind, NullHook, PipelineHook, RunResult};
+use emask_cpu::{
+    BackendCheckpoint, Cpu, CpuBackend, CpuError, CpuErrorKind, NullHook, PipelineHook, RunResult,
+};
 use emask_des::bitarray::BitArrayState;
 use emask_des::bits::{from_bit_vec, to_bit_vec};
 use emask_energy::{EnergyModel, EnergyParams, EnergyTrace};
@@ -302,6 +304,29 @@ impl MaskedDes {
         self.run_block(plaintext, key)
     }
 
+    /// [`MaskedDes::encrypt`] on an explicit [`CpuBackend`] — static
+    /// dispatch, so `encrypt_on::<Cpu>` monomorphizes to exactly
+    /// [`MaskedDes::encrypt`], while `encrypt_on::<Interpreter>` runs the
+    /// same program on the reference ISS (one activity record and one
+    /// energy sample per instruction instead of per pipeline cycle). The
+    /// ciphertext and golden-model validation are backend-independent; the
+    /// trace length and energy figures are the backend's own.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MaskedDes::encrypt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this instance is a decryptor.
+    pub fn encrypt_on<B: CpuBackend>(
+        &self,
+        plaintext: u64,
+        key: u64,
+    ) -> Result<EncryptionRun, RunError> {
+        self.encrypt_hooked_on::<B, NullHook>(plaintext, key, &mut NullHook)
+    }
+
     /// [`MaskedDes::encrypt`] with a telemetry observer attached: `obs`
     /// receives every cycle's activity + energy, every phase-marker
     /// crossing (before that cycle's `on_cycle`, so phase accumulators use
@@ -351,6 +376,28 @@ impl MaskedDes {
     ) -> Result<EncryptionRun, RunError> {
         assert!(!self.decryptor, "this instance was compiled as a decryptor; use decrypt()");
         self.run_block_full(plaintext, key, hook, &mut ())
+    }
+
+    /// [`MaskedDes::encrypt_hooked`] on an explicit [`CpuBackend`]; see
+    /// [`MaskedDes::encrypt_on`]. Note that latch-lane fault injection
+    /// degrades to a no-op on backends without pipeline latches (the hook
+    /// still sees every cycle and all architectural state).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MaskedDes::encrypt_hooked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this instance is a decryptor.
+    pub fn encrypt_hooked_on<B: CpuBackend, H: PipelineHook>(
+        &self,
+        plaintext: u64,
+        key: u64,
+        hook: &mut H,
+    ) -> Result<EncryptionRun, RunError> {
+        assert!(!self.decryptor, "this instance was compiled as a decryptor; use decrypt()");
+        self.run_block_full_on::<B, H, ()>(plaintext, key, hook, &mut ())
     }
 
     /// [`MaskedDes::decrypt`] with a telemetry observer attached; see
@@ -464,6 +511,22 @@ impl MaskedDes {
             .ok_or_else(|| RunError::MissingSymbol { name: name.to_string() })
     }
 
+    /// Pokes a 64-bit value into a bit-per-word data array, MSB first
+    /// (paper Figure 4 layout), on any backend.
+    fn poke_bits<B: CpuBackend>(
+        cpu: &mut B,
+        name: &str,
+        base: u32,
+        value: u64,
+    ) -> Result<(), RunError> {
+        for (i, b) in to_bit_vec(value).iter().enumerate() {
+            cpu.memory_mut().store(base + 4 * i as u32, u32::from(*b)).map_err(|source| {
+                RunError::ImageAccess { name: name.to_string(), index: i, source }
+            })?;
+        }
+        Ok(())
+    }
+
     fn run_block_full<H: PipelineHook, O: RunObserver>(
         &self,
         input: u64,
@@ -471,21 +534,24 @@ impl MaskedDes {
         hook: &mut H,
         obs: &mut O,
     ) -> Result<EncryptionRun, RunError> {
+        // The hot path: pinned to the pipeline backend so the unmasked
+        // `encrypt` loop monomorphizes exactly as before the trait existed.
+        self.run_block_full_on::<Cpu, H, O>(input, key, hook, obs)
+    }
+
+    fn run_block_full_on<B: CpuBackend, H: PipelineHook, O: RunObserver>(
+        &self,
+        input: u64,
+        key: u64,
+        hook: &mut H,
+        obs: &mut O,
+    ) -> Result<EncryptionRun, RunError> {
         let plaintext = input;
-        let mut cpu = Cpu::new(&self.program);
-        // Poke inputs: one word per bit, MSB first (paper Figure 4 layout).
+        let mut cpu = B::load(&self.program);
         let key_addr = self.data_sym("key")?;
         let data_addr = self.data_sym("data")?;
-        let poke = |cpu: &mut Cpu, name: &str, base: u32, value: u64| {
-            for (i, b) in to_bit_vec(value).iter().enumerate() {
-                cpu.memory_mut().store(base + 4 * i as u32, u32::from(*b)).map_err(|source| {
-                    RunError::ImageAccess { name: name.to_string(), index: i, source }
-                })?;
-            }
-            Ok::<(), RunError>(())
-        };
-        poke(&mut cpu, "key", key_addr, key)?;
-        poke(&mut cpu, "data", data_addr, plaintext)?;
+        Self::poke_bits(&mut cpu, "key", key_addr, key)?;
+        Self::poke_bits(&mut cpu, "data", data_addr, plaintext)?;
         let marker_addr = self.data_sym("marker")?;
 
         let mut model = EnergyModel::with_params(self.params);
@@ -518,7 +584,12 @@ impl MaskedDes {
 
     /// Reads the 64-word ciphertext array back from a halted machine and
     /// validates it against the golden model.
-    fn read_validated_output(&self, cpu: &Cpu, input: u64, key: u64) -> Result<u64, RunError> {
+    fn read_validated_output<B: CpuBackend>(
+        &self,
+        cpu: &B,
+        input: u64,
+        key: u64,
+    ) -> Result<u64, RunError> {
         let out_addr = self.data_sym("output")?;
         let mut bits = [0u8; 64];
         for (i, bit) in bits.iter_mut().enumerate() {
@@ -577,21 +648,42 @@ impl MaskedDes {
         hook: &mut H,
         policy: &RecoveryPolicy,
     ) -> Result<RecoveredRun, RunError> {
+        self.encrypt_recovered_on::<Cpu, H>(plaintext, key, hook, policy)
+    }
+
+    /// [`MaskedDes::encrypt_recovered`] on an explicit checkpoint-capable
+    /// [`CpuBackend`]. Rollback cost and cadence are microarchitectural —
+    /// the interpreter counts instructions where the pipeline counts cycles
+    /// — but the recovered ciphertext and retired-instruction stream are
+    /// architectural and identical across backends.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MaskedDes::encrypt_recovered`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this instance is a decryptor, or if
+    /// `B::SUPPORTS_CHECKPOINT` is `false`.
+    pub fn encrypt_recovered_on<B: CpuBackend, H: PipelineHook>(
+        &self,
+        plaintext: u64,
+        key: u64,
+        hook: &mut H,
+        policy: &RecoveryPolicy,
+    ) -> Result<RecoveredRun, RunError> {
         assert!(!self.decryptor, "this instance was compiled as a decryptor; use decrypt()");
-        let mut cpu = Cpu::new(&self.program);
+        assert!(
+            B::SUPPORTS_CHECKPOINT,
+            "backend {} does not support checkpoint/rollback recovery",
+            B::NAME
+        );
+        let mut cpu = B::load(&self.program);
         let key_addr = self.data_sym("key")?;
         let data_addr = self.data_sym("data")?;
         let marker_addr = self.data_sym("marker")?;
-        let poke = |cpu: &mut Cpu, name: &str, base: u32, value: u64| {
-            for (i, b) in to_bit_vec(value).iter().enumerate() {
-                cpu.memory_mut().store(base + 4 * i as u32, u32::from(*b)).map_err(|source| {
-                    RunError::ImageAccess { name: name.to_string(), index: i, source }
-                })?;
-            }
-            Ok::<(), RunError>(())
-        };
-        poke(&mut cpu, "key", key_addr, key)?;
-        poke(&mut cpu, "data", data_addr, plaintext)?;
+        Self::poke_bits(&mut cpu, "key", key_addr, key)?;
+        Self::poke_bits(&mut cpu, "data", data_addr, plaintext)?;
 
         let mut model = EnergyModel::with_params(self.params);
         let mut trace = EnergyTrace::new();
@@ -599,7 +691,7 @@ impl MaskedDes {
         // The implicit cycle-0 checkpoint plus the state that must rewind
         // with it: the energy model (transition-sensitive bus state) and
         // the marker list.
-        let mut cp = CpuCheckpoint::capture(&mut cpu);
+        let mut cp = cpu.checkpoint();
         let mut cp_model = model.clone();
         let mut cp_marker_len = 0usize;
         let mut recovery = RecoveryStats::default();
@@ -636,7 +728,7 @@ impl MaskedDes {
                         CheckpointCadence::PhaseMarkers => marker_this_cycle,
                     };
                     if boundary {
-                        cp.refresh(&mut cpu);
+                        cpu.checkpoint_refresh(&mut cp);
                         cp_model = model.clone();
                         cp_marker_len = markers.len();
                         recovery.checkpoints += 1;
@@ -649,7 +741,7 @@ impl MaskedDes {
                         return Err(RunError::Zeroized { rollbacks: recovery.rollbacks, last: e });
                     }
                     recovery.rollbacks += 1;
-                    cp.restore(&mut cpu);
+                    cpu.checkpoint_restore(&mut cp);
                     recovery.pages_moved += cp.pages_moved() as u64;
                     model = cp_model.clone();
                     trace.truncate(cp.cycle() as usize);
@@ -714,6 +806,47 @@ mod tests {
         let run = des.encrypt(PLAIN, KEY).expect("run");
         assert_eq!(run.ciphertext, 0x85E8_1354_0F0A_B405);
         assert_eq!(run.ciphertext, Des::new(KEY).encrypt_block(PLAIN));
+    }
+
+    #[test]
+    fn encrypt_on_backends_agree_architecturally() {
+        // The same compiled program on the reference interpreter produces
+        // the same ciphertext, retirement/memory-traffic counts and phase
+        // sequence as the pipeline — only microarchitectural figures
+        // (cycles, stalls, per-cycle energy) may differ.
+        let des = two_rounds(MaskPolicy::Selective);
+        let pipe = des.encrypt(PLAIN, KEY).expect("pipeline run");
+        let interp = des.encrypt_on::<emask_cpu::Interpreter>(PLAIN, KEY).expect("interp run");
+        assert_eq!(interp.ciphertext, pipe.ciphertext);
+        assert_eq!(interp.stats.retired, pipe.stats.retired);
+        assert_eq!(interp.stats.loads, pipe.stats.loads);
+        assert_eq!(interp.stats.stores, pipe.stats.stores);
+        let phases = |run: &EncryptionRun| run.markers.iter().map(|m| m.phase).collect::<Vec<_>>();
+        assert_eq!(phases(&interp), phases(&pipe));
+        assert!(!interp.trace.is_empty());
+    }
+
+    #[test]
+    fn recovery_on_interpreter_recovers_a_transient_fault() {
+        // The recovery loop is generic: the interpreter's checkpoint
+        // rewinds instructions instead of pipeline cycles, but the
+        // recovered run is still bit-identical to a clean one.
+        let des = two_rounds(MaskPolicy::Selective);
+        let clean = des.encrypt_on::<emask_cpu::Interpreter>(PLAIN, KEY).expect("clean run");
+        let mut hook = TransientFault { at_cycle: clean.stats.cycles / 2, fired: false };
+        let rec = des
+            .encrypt_recovered_on::<emask_cpu::Interpreter, _>(
+                PLAIN,
+                KEY,
+                &mut hook,
+                &RecoveryPolicy::default(),
+            )
+            .expect("recovered run");
+        assert_eq!(rec.recovery.rollbacks, 1);
+        assert_eq!(rec.run.ciphertext, clean.ciphertext);
+        assert_eq!(rec.run.stats, clean.stats);
+        assert_eq!(rec.run.trace, clean.trace, "trace must be bit-identical");
+        assert_eq!(rec.run.markers, clean.markers);
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! The multi-backend CPU abstraction.
+//!
+//! A [`CpuBackend`] is any engine that executes an [`emask_isa::Program`]
+//! and exposes the *architectural contract* the rest of the workspace
+//! builds on: register/memory/PC state, retirement accounting, per-cycle
+//! [`CycleActivity`] emission for the energy model, [`PipelineHook`]
+//! attachment, and (where supported) checkpoint/rollback. The five-stage
+//! pipelined [`Cpu`] and the reference [`Interpreter`] are sibling
+//! implementations; future cores (bitsliced batch lanes, randomized issue)
+//! plug in as one more `impl` plus one conformance-suite registration.
+//!
+//! ## Architectural contract vs per-backend microarchitecture
+//!
+//! Two backends must agree on everything *architectural*: final register
+//! and data-memory state, the retirement order of instructions, the error
+//! taxonomy ([`CpuErrorKind`]), and the placement of memory traffic in the
+//! retirement stream (which is what phase-marker detection keys on). They
+//! are free to disagree on everything *microarchitectural*: cycle counts,
+//! stall/flush statistics, which latch lanes exist for fault injection,
+//! and the per-cycle energy figures derived from bus toggling. The generic
+//! conformance suite in `emask-conformance` checks exactly this split.
+//!
+//! Dispatch is **static** throughout: `emask-core`'s runner is generic
+//! over `B: CpuBackend`, so the hot unmasked-`encrypt` path monomorphizes
+//! to the same code as before the trait existed — the trait costs nothing
+//! at runtime.
+
+use crate::activity::CycleActivity;
+use crate::checkpoint::CpuCheckpoint;
+use crate::hook::{NullHook, PipelineHook};
+use crate::interp::{InterpCheckpoint, Interpreter};
+use crate::memory::DataMemory;
+use crate::pipeline::{Cpu, CpuError, RunResult};
+use emask_isa::{Program, Reg};
+
+/// A restorable snapshot of one backend's full execution state, with
+/// incremental (dirty-page) memory tracking. Every [`CpuBackend`] with
+/// [`CpuBackend::SUPPORTS_CHECKPOINT`] set provides one.
+pub trait BackendCheckpoint {
+    /// The backend clock at the checkpoint boundary — the length an energy
+    /// trace must be truncated to on rollback.
+    fn cycle(&self) -> u64;
+
+    /// Instructions retired as of the checkpoint boundary.
+    fn retired(&self) -> u64;
+
+    /// Pages copied by the most recent refresh or restore.
+    fn pages_moved(&self) -> usize;
+}
+
+/// A CPU execution engine the workspace runners can drive generically.
+///
+/// The trait surface is the union of what `emask-core`'s DES runner, the
+/// `emask-fault` injection campaigns, and the differential test harnesses
+/// need: program load, hooked stepping, run-to-halt with activity
+/// streaming, architectural state access, and checkpointing. All methods
+/// dispatch statically; see the [module docs](self) for the contract.
+pub trait CpuBackend: Sized {
+    /// Stable backend name, used in conformance reports and energy CSVs.
+    const NAME: &'static str;
+
+    /// Whether [`CpuBackend::checkpoint`] and friends are functional. When
+    /// `false` the checkpoint methods panic; generic drivers must gate on
+    /// this flag (the conformance suite skips round-trip tests for such
+    /// backends, and `encrypt_recovered_on` refuses them at compile-time
+    /// assertion).
+    const SUPPORTS_CHECKPOINT: bool;
+
+    /// The backend's checkpoint type.
+    type Checkpoint: BackendCheckpoint;
+
+    /// Loads `program` into a fresh backend with the standard memory map
+    /// (`.data` at `DATA_BASE`, `$sp`/`$gp` initialized).
+    fn load(program: &Program) -> Self;
+
+    /// Current value of a register.
+    fn reg(&self, r: Reg) -> u32;
+
+    /// Sets a register before (or between) runs — harness argument passing.
+    fn set_reg(&mut self, r: Reg, value: u32);
+
+    /// A snapshot of all 32 registers.
+    fn registers(&self) -> [u32; 32];
+
+    /// Immutable view of data memory.
+    fn memory(&self) -> &DataMemory;
+
+    /// Mutable view of data memory (harness setup, e.g. poking inputs).
+    fn memory_mut(&mut self) -> &mut DataMemory;
+
+    /// The current program counter (text index).
+    fn pc(&self) -> u32;
+
+    /// True once `halt` has retired.
+    fn is_halted(&self) -> bool;
+
+    /// The backend clock: cycles for the pipeline, instructions executed
+    /// for the interpreter. Only comparable *within* one backend.
+    fn cycles(&self) -> u64;
+
+    /// Statistics accumulated so far. `retired`, `loads` and `stores` are
+    /// architectural and must agree across backends; `cycles`, `stalls`
+    /// and `flushed` are microarchitectural.
+    fn stats(&self) -> RunResult;
+
+    /// Instructions retired so far (architectural).
+    fn retired(&self) -> u64 {
+        self.stats().retired
+    }
+
+    /// Advances the backend one clock with a hook intervening:
+    /// `before_cycle`, the step itself, then `after_cycle` which may veto
+    /// with a typed fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] on memory faults, division by zero, a runaway
+    /// PC, or whatever the hook's `after_cycle` raises.
+    fn step_hooked<H: PipelineHook>(&mut self, hook: &mut H) -> Result<CycleActivity, CpuError>;
+
+    /// Runs to completion with a [`PipelineHook`] intervening every cycle
+    /// and each (post-hook) [`CycleActivity`] streamed to `observe`.
+    /// `max_cycles` budgets the backend clock ([`CpuBackend::cycles`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CpuBackend::step_hooked`], plus
+    /// [`CpuErrorKind::CycleLimit`](crate::CpuErrorKind::CycleLimit) on an
+    /// exhausted budget.
+    fn run_hooked_with<H: PipelineHook>(
+        &mut self,
+        max_cycles: u64,
+        hook: &mut H,
+        observe: impl FnMut(&CycleActivity),
+    ) -> Result<RunResult, CpuError>;
+
+    /// Runs to completion, discarding activity records.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CpuBackend::run_hooked_with`].
+    fn run(&mut self, max_cycles: u64) -> Result<RunResult, CpuError> {
+        self.run_hooked_with(max_cycles, &mut NullHook, |_| {})
+    }
+
+    /// Snapshots the backend and starts dirty-page tracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`CpuBackend::SUPPORTS_CHECKPOINT`] is `false`.
+    fn checkpoint(&mut self) -> Self::Checkpoint;
+
+    /// Advances `cp` to the backend's current state (dirty pages only).
+    fn checkpoint_refresh(&mut self, cp: &mut Self::Checkpoint);
+
+    /// Rolls the backend back to `cp` (dirty pages only).
+    fn checkpoint_restore(&mut self, cp: &mut Self::Checkpoint);
+}
+
+impl BackendCheckpoint for CpuCheckpoint {
+    fn cycle(&self) -> u64 {
+        self.cycle()
+    }
+    fn retired(&self) -> u64 {
+        self.retired()
+    }
+    fn pages_moved(&self) -> usize {
+        self.pages_moved()
+    }
+}
+
+impl CpuBackend for Cpu {
+    const NAME: &'static str = "pipeline5";
+    const SUPPORTS_CHECKPOINT: bool = true;
+    type Checkpoint = CpuCheckpoint;
+
+    fn load(program: &Program) -> Self {
+        Cpu::new(program)
+    }
+    fn reg(&self, r: Reg) -> u32 {
+        Cpu::reg(self, r)
+    }
+    fn set_reg(&mut self, r: Reg, value: u32) {
+        Cpu::set_reg(self, r, value);
+    }
+    fn registers(&self) -> [u32; 32] {
+        Cpu::registers(self)
+    }
+    fn memory(&self) -> &DataMemory {
+        Cpu::memory(self)
+    }
+    fn memory_mut(&mut self) -> &mut DataMemory {
+        Cpu::memory_mut(self)
+    }
+    fn pc(&self) -> u32 {
+        self.pc
+    }
+    fn is_halted(&self) -> bool {
+        Cpu::is_halted(self)
+    }
+    fn cycles(&self) -> u64 {
+        Cpu::cycles(self)
+    }
+    fn stats(&self) -> RunResult {
+        Cpu::stats(self)
+    }
+    fn step_hooked<H: PipelineHook>(&mut self, hook: &mut H) -> Result<CycleActivity, CpuError> {
+        Cpu::step_hooked(self, hook)
+    }
+    fn run_hooked_with<H: PipelineHook>(
+        &mut self,
+        max_cycles: u64,
+        hook: &mut H,
+        observe: impl FnMut(&CycleActivity),
+    ) -> Result<RunResult, CpuError> {
+        // Delegates to the inherent method, which keeps the compile-time
+        // NullHook route: the generic runner's unmasked path monomorphizes
+        // to exactly the pre-trait loop.
+        Cpu::run_hooked_with(self, max_cycles, hook, observe)
+    }
+    fn checkpoint(&mut self) -> CpuCheckpoint {
+        CpuCheckpoint::capture(self)
+    }
+    fn checkpoint_refresh(&mut self, cp: &mut CpuCheckpoint) {
+        cp.refresh(self);
+    }
+    fn checkpoint_restore(&mut self, cp: &mut CpuCheckpoint) {
+        cp.restore(self);
+    }
+}
+
+impl BackendCheckpoint for InterpCheckpoint {
+    fn cycle(&self) -> u64 {
+        self.cycle()
+    }
+    fn retired(&self) -> u64 {
+        self.retired()
+    }
+    fn pages_moved(&self) -> usize {
+        self.pages_moved()
+    }
+}
+
+impl CpuBackend for Interpreter {
+    const NAME: &'static str = "interp";
+    const SUPPORTS_CHECKPOINT: bool = true;
+    type Checkpoint = InterpCheckpoint;
+
+    fn load(program: &Program) -> Self {
+        Interpreter::new(program)
+    }
+    fn reg(&self, r: Reg) -> u32 {
+        Interpreter::reg(self, r)
+    }
+    fn set_reg(&mut self, r: Reg, value: u32) {
+        Interpreter::set_reg(self, r, value);
+    }
+    fn registers(&self) -> [u32; 32] {
+        Interpreter::registers(self)
+    }
+    fn memory(&self) -> &DataMemory {
+        Interpreter::memory(self)
+    }
+    fn memory_mut(&mut self) -> &mut DataMemory {
+        Interpreter::memory_mut(self)
+    }
+    fn pc(&self) -> u32 {
+        Interpreter::pc(self)
+    }
+    fn is_halted(&self) -> bool {
+        Interpreter::is_halted(self)
+    }
+    fn cycles(&self) -> u64 {
+        self.executed()
+    }
+    fn stats(&self) -> RunResult {
+        Interpreter::stats(self)
+    }
+    fn step_hooked<H: PipelineHook>(&mut self, hook: &mut H) -> Result<CycleActivity, CpuError> {
+        Interpreter::step_hooked(self, hook)
+    }
+    fn run_hooked_with<H: PipelineHook>(
+        &mut self,
+        max_cycles: u64,
+        hook: &mut H,
+        observe: impl FnMut(&CycleActivity),
+    ) -> Result<RunResult, CpuError> {
+        Interpreter::run_hooked_with(self, max_cycles, hook, observe)
+    }
+    fn checkpoint(&mut self) -> InterpCheckpoint {
+        InterpCheckpoint::capture(self)
+    }
+    fn checkpoint_refresh(&mut self, cp: &mut InterpCheckpoint) {
+        cp.refresh(self);
+    }
+    fn checkpoint_restore(&mut self, cp: &mut InterpCheckpoint) {
+        cp.restore(self);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use emask_isa::assemble;
+
+    fn program() -> Program {
+        assemble(
+            ".data\nbuf: .space 16\n.text\n la $t0, buf\n li $t1, 5\n li $t2, 0\n\
+             loop: sw $t2, 0($t0)\n addiu $t2, $t2, 1\n bne $t2, $t1, loop\n\
+             mul $t3, $t2, $t2\n halt\n",
+        )
+        .expect("asm")
+    }
+
+    fn run_generic<B: CpuBackend>() -> ([u32; 32], u64, RunResult) {
+        let p = program();
+        let mut b = B::load(&p);
+        let stats = CpuBackend::run(&mut b, 1_000_000).expect("run");
+        assert!(b.is_halted());
+        (b.registers(), b.retired(), stats)
+    }
+
+    #[test]
+    fn both_backends_agree_architecturally_via_the_trait() {
+        let (regs_p, ret_p, stats_p) = run_generic::<Cpu>();
+        let (regs_i, ret_i, stats_i) = run_generic::<Interpreter>();
+        assert_eq!(regs_p, regs_i);
+        assert_eq!(ret_p, ret_i);
+        assert_eq!(stats_p.retired, stats_i.retired);
+        assert_eq!(stats_p.loads, stats_i.loads);
+        assert_eq!(stats_p.stores, stats_i.stores);
+    }
+
+    #[test]
+    fn backend_names_are_distinct() {
+        assert_ne!(<Cpu as CpuBackend>::NAME, <Interpreter as CpuBackend>::NAME);
+    }
+
+    #[test]
+    fn generic_checkpoint_round_trip() {
+        fn round_trip<B: CpuBackend>() {
+            assert!(B::SUPPORTS_CHECKPOINT);
+            let p = program();
+            let mut b = B::load(&p);
+            for _ in 0..6 {
+                b.step_hooked(&mut NullHook).expect("step");
+            }
+            let mut cp = b.checkpoint();
+            assert_eq!(BackendCheckpoint::cycle(&cp), b.cycles());
+            let regs_at_cp = b.registers();
+            for _ in 0..6 {
+                b.step_hooked(&mut NullHook).expect("step");
+            }
+            b.checkpoint_restore(&mut cp);
+            assert_eq!(b.registers(), regs_at_cp);
+            while !b.is_halted() {
+                b.step_hooked(&mut NullHook).expect("step");
+            }
+            let mut fresh = B::load(&p);
+            CpuBackend::run(&mut fresh, 1_000_000).expect("run");
+            assert_eq!(b.registers(), fresh.registers());
+            assert_eq!(b.memory(), fresh.memory());
+        }
+        round_trip::<Cpu>();
+        round_trip::<Interpreter>();
+    }
+}

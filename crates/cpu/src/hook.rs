@@ -18,6 +18,7 @@
 //! `A`'s accepted the cycle), and `&mut H` forwards to `H`.
 
 use crate::activity::CycleActivity;
+use crate::interp::Interpreter;
 use crate::memory::AccessError;
 use crate::pipeline::{Cpu, CpuErrorKind};
 use emask_isa::{OpClass, Reg};
@@ -107,51 +108,97 @@ pub struct LaneView {
     pub class: OpClass,
 }
 
+/// The live core a [`HookCtx`] points into. The pipeline variant exposes
+/// the full microarchitecture (latch lanes, IF/ID squash, rail skew); the
+/// interpreter has no latches, so lane-level operations degrade to no-ops
+/// there while the architectural operations (registers, memory, PC) work
+/// identically on both.
+#[derive(Debug)]
+pub(crate) enum CoreView<'a> {
+    /// The five-stage pipeline.
+    Pipeline(&'a mut Cpu),
+    /// The reference interpreter.
+    Interp(&'a mut Interpreter),
+}
+
 /// Mutable per-cycle access to the live core, handed to
 /// [`PipelineHook::before_cycle`] at the top of every simulated cycle,
 /// before any stage logic runs. State changed here is what the stages see
 /// this cycle.
+///
+/// The same context type serves every [`crate::CpuBackend`]: architectural
+/// accessors (registers, memory, PC, retirement count) behave identically
+/// everywhere, while the latch-lane operations are inherently
+/// microarchitectural — on a backend without pipeline latches,
+/// [`HookCtx::lane`] returns `None` and [`HookCtx::flip_lane`] /
+/// [`HookCtx::squash_if_id`] return `false`, exactly as they do when a
+/// pipeline latch holds a bubble.
 #[derive(Debug)]
 pub struct HookCtx<'a> {
-    pub(crate) cpu: &'a mut Cpu,
+    pub(crate) core: CoreView<'a>,
 }
 
-impl HookCtx<'_> {
-    /// The cycle about to be simulated.
+impl<'a> HookCtx<'a> {
+    pub(crate) fn for_cpu(cpu: &'a mut Cpu) -> Self {
+        Self { core: CoreView::Pipeline(cpu) }
+    }
+
+    pub(crate) fn for_interp(interp: &'a mut Interpreter) -> Self {
+        Self { core: CoreView::Interp(interp) }
+    }
+
+    /// The stable name of the backend behind this context.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.core {
+            CoreView::Pipeline(_) => "pipeline5",
+            CoreView::Interp(_) => "interp",
+        }
+    }
+
+    /// The cycle about to be simulated (instructions executed, on the
+    /// interpreter).
     pub fn cycle(&self) -> u64 {
-        self.cpu.cycle
+        match &self.core {
+            CoreView::Pipeline(cpu) => cpu.cycle,
+            CoreView::Interp(i) => i.executed,
+        }
     }
 
     /// Instructions retired so far (before this cycle's write-back).
     pub fn retired(&self) -> u64 {
-        self.cpu.stats.retired
+        match &self.core {
+            CoreView::Pipeline(cpu) => cpu.stats.retired,
+            CoreView::Interp(i) => i.stats.retired,
+        }
     }
 
     /// The current program counter.
     pub fn pc(&self) -> u32 {
-        self.cpu.pc
+        match &self.core {
+            CoreView::Pipeline(cpu) => cpu.pc,
+            CoreView::Interp(i) => i.pc,
+        }
     }
 
-    /// What occupies `lane`, or `None` while the latch holds a bubble.
+    /// What occupies `lane`, or `None` while the latch holds a bubble (or
+    /// the backend has no pipeline latches at all).
     pub fn lane(&self, lane: FaultLane) -> Option<LaneView> {
+        let CoreView::Pipeline(cpu) = &self.core else {
+            return None;
+        };
         let (valid, value, inst) = match lane {
-            FaultLane::IdExA => (self.cpu.id_ex.valid, self.cpu.id_ex.a, self.cpu.id_ex.inst),
-            FaultLane::IdExB => (self.cpu.id_ex.valid, self.cpu.id_ex.b, self.cpu.id_ex.inst),
-            FaultLane::ExMemAlu => {
-                (self.cpu.ex_mem.valid, self.cpu.ex_mem.alu, self.cpu.ex_mem.inst)
-            }
-            FaultLane::ExMemStore => {
-                (self.cpu.ex_mem.valid, self.cpu.ex_mem.store_val, self.cpu.ex_mem.inst)
-            }
-            FaultLane::MemWbValue => {
-                (self.cpu.mem_wb.valid, self.cpu.mem_wb.value, self.cpu.mem_wb.inst)
-            }
+            FaultLane::IdExA => (cpu.id_ex.valid, cpu.id_ex.a, cpu.id_ex.inst),
+            FaultLane::IdExB => (cpu.id_ex.valid, cpu.id_ex.b, cpu.id_ex.inst),
+            FaultLane::ExMemAlu => (cpu.ex_mem.valid, cpu.ex_mem.alu, cpu.ex_mem.inst),
+            FaultLane::ExMemStore => (cpu.ex_mem.valid, cpu.ex_mem.store_val, cpu.ex_mem.inst),
+            FaultLane::MemWbValue => (cpu.mem_wb.valid, cpu.mem_wb.value, cpu.mem_wb.inst),
         };
         valid.then(|| LaneView { value, secure: inst.secure, class: inst.class() })
     }
 
     /// XORs `mask` into `lane` under the given [`RailMode`]. Returns
-    /// `false` (and does nothing) if the latch holds a bubble.
+    /// `false` (and does nothing) if the latch holds a bubble or the
+    /// backend has no latches.
     ///
     /// [`RailMode::Both`] changes the latched value only.
     /// [`RailMode::TrueOnly`] also records that the complement rail went
@@ -159,52 +206,70 @@ impl HookCtx<'_> {
     /// pair; [`RailMode::ComplementOnly`] records the stale complement
     /// without touching the value.
     pub fn flip_lane(&mut self, lane: FaultLane, mask: u32, rail: RailMode) -> bool {
+        let CoreView::Pipeline(cpu) = &mut self.core else {
+            return false;
+        };
         let valid = match lane {
-            FaultLane::IdExA | FaultLane::IdExB => self.cpu.id_ex.valid,
-            FaultLane::ExMemAlu | FaultLane::ExMemStore => self.cpu.ex_mem.valid,
-            FaultLane::MemWbValue => self.cpu.mem_wb.valid,
+            FaultLane::IdExA | FaultLane::IdExB => cpu.id_ex.valid,
+            FaultLane::ExMemAlu | FaultLane::ExMemStore => cpu.ex_mem.valid,
+            FaultLane::MemWbValue => cpu.mem_wb.valid,
         };
         if !valid || mask == 0 {
             return false;
         }
         let value: &mut u32 = match lane {
-            FaultLane::IdExA => &mut self.cpu.id_ex.a,
-            FaultLane::IdExB => &mut self.cpu.id_ex.b,
-            FaultLane::ExMemAlu => &mut self.cpu.ex_mem.alu,
-            FaultLane::ExMemStore => &mut self.cpu.ex_mem.store_val,
-            FaultLane::MemWbValue => &mut self.cpu.mem_wb.value,
+            FaultLane::IdExA => &mut cpu.id_ex.a,
+            FaultLane::IdExB => &mut cpu.id_ex.b,
+            FaultLane::ExMemAlu => &mut cpu.ex_mem.alu,
+            FaultLane::ExMemStore => &mut cpu.ex_mem.store_val,
+            FaultLane::MemWbValue => &mut cpu.mem_wb.value,
         };
         if !matches!(rail, RailMode::ComplementOnly) {
             *value ^= mask;
         }
         if !matches!(rail, RailMode::Both) {
-            self.cpu.rail_skew.record(lane, mask);
+            cpu.rail_skew.record(lane, mask);
         }
         true
     }
 
     /// Squashes whatever sits in the IF/ID latch — the classic
     /// *instruction-skip* fault. Returns `false` if it already held a
-    /// bubble.
+    /// bubble (or the backend has no fetch latch).
     pub fn squash_if_id(&mut self) -> bool {
-        if !self.cpu.if_id.valid {
+        let CoreView::Pipeline(cpu) = &mut self.core else {
+            return false;
+        };
+        if !cpu.if_id.valid {
             return false;
         }
-        self.cpu.if_id.valid = false;
+        cpu.if_id.valid = false;
         true
     }
 
     /// Reads architectural register `n & 31`.
     pub fn reg(&self, n: u8) -> u32 {
-        self.cpu.regs.read(Reg::from_number(n & 31))
+        let r = Reg::from_number(n & 31);
+        match &self.core {
+            CoreView::Pipeline(cpu) => cpu.regs.read(r),
+            CoreView::Interp(i) => i.regs.read(r),
+        }
     }
 
     /// XORs `mask` into architectural register `n & 31` (writes to `$zero`
     /// are discarded, as in hardware).
     pub fn flip_reg(&mut self, n: u8, mask: u32) {
         let r = Reg::from_number(n & 31);
-        let v = self.cpu.regs.read(r);
-        self.cpu.regs.write(r, v ^ mask);
+        match &mut self.core {
+            CoreView::Pipeline(cpu) => {
+                let v = cpu.regs.read(r);
+                cpu.regs.write(r, v ^ mask);
+            }
+            CoreView::Interp(i) => {
+                let v = i.regs.read(r);
+                i.regs.write(r, v ^ mask);
+            }
+        }
     }
 
     /// Reads the data-memory word at `addr`.
@@ -213,7 +278,10 @@ impl HookCtx<'_> {
     ///
     /// Returns [`AccessError`] on misaligned or out-of-range addresses.
     pub fn mem_word(&self, addr: u32) -> Result<u32, AccessError> {
-        self.cpu.mem.load(addr)
+        match &self.core {
+            CoreView::Pipeline(cpu) => cpu.mem.load(addr),
+            CoreView::Interp(i) => i.mem.load(addr),
+        }
     }
 
     /// XORs `mask` into the data-memory word at `addr`.
@@ -222,8 +290,12 @@ impl HookCtx<'_> {
     ///
     /// Returns [`AccessError`] on misaligned or out-of-range addresses.
     pub fn flip_mem(&mut self, addr: u32, mask: u32) -> Result<(), AccessError> {
-        let v = self.cpu.mem.load(addr)?;
-        self.cpu.mem.store(addr, v ^ mask)
+        let mem = match &mut self.core {
+            CoreView::Pipeline(cpu) => &mut cpu.mem,
+            CoreView::Interp(i) => &mut i.mem,
+        };
+        let v = mem.load(addr)?;
+        mem.store(addr, v ^ mask)
     }
 }
 
@@ -404,7 +476,7 @@ mod tests {
     fn flip_lane_refuses_bubbles_and_zero_masks() {
         let p = program();
         let mut cpu = Cpu::new(&p);
-        let mut ctx = HookCtx { cpu: &mut cpu };
+        let mut ctx = HookCtx::for_cpu(&mut cpu);
         // Cycle 0: every latch is a bubble.
         assert!(ctx.lane(FaultLane::IdExA).is_none());
         assert!(!ctx.flip_lane(FaultLane::IdExA, 1, RailMode::Both));
@@ -413,10 +485,31 @@ mod tests {
     }
 
     #[test]
+    fn interp_ctx_degrades_lanes_but_keeps_architectural_access() {
+        let p = program();
+        let mut iss = crate::Interpreter::new(&p);
+        let mut ctx = HookCtx::for_interp(&mut iss);
+        assert_eq!(ctx.backend_name(), "interp");
+        // No latches: every lane operation reports "bubble".
+        for lane in FaultLane::ALL {
+            assert!(ctx.lane(lane).is_none());
+            assert!(!ctx.flip_lane(lane, 1, RailMode::Both));
+        }
+        assert!(!ctx.squash_if_id());
+        // Architectural access works exactly as on the pipeline.
+        ctx.flip_reg(9, 0b11);
+        assert_eq!(ctx.reg(9), 0b11);
+        ctx.flip_mem(0x1000, 0xAA).expect("in range");
+        assert_eq!(ctx.mem_word(0x1000).expect("in range"), 0xAA);
+        assert_eq!(ctx.pc(), 0);
+        assert_eq!(ctx.cycle(), 0);
+    }
+
+    #[test]
     fn reg_and_mem_flips_round_trip() {
         let p = program();
         let mut cpu = Cpu::new(&p);
-        let mut ctx = HookCtx { cpu: &mut cpu };
+        let mut ctx = HookCtx::for_cpu(&mut cpu);
         ctx.flip_reg(8, 0b101);
         assert_eq!(ctx.reg(8), 0b101);
         // $zero stays hardwired.

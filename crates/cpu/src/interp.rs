@@ -6,22 +6,33 @@
 //! both on random programs and demand identical final register/memory
 //! state and identical retirement order; any divergence is a pipeline bug
 //! (lost forwarding, wrong-path commit, interlock failure, ...).
+//!
+//! The interpreter is a full [`CpuBackend`](crate::CpuBackend): each
+//! executed instruction synthesizes one [`CycleActivity`] record (all five
+//! stage roles collapsed into a single "cycle"), so phase-marker
+//! detection, hook attachment and per-backend energy accounting work on it
+//! exactly as on the pipeline — the *values* on the buses are
+//! architectural and agree with the pipeline's post-forwarding buses,
+//! while the cycle placement is the backend's own microarchitecture.
 
+use crate::activity::{BusSample, CycleActivity, ExActivity, MemActivity};
+use crate::hook::{PipelineHook, RailSkew};
 use crate::memory::DataMemory;
-use crate::pipeline::{CpuError, CpuErrorKind};
+use crate::pipeline::{alu_exec, alu_inputs, branch_taken, CpuError, CpuErrorKind, RunResult};
 use crate::regfile::RegisterFile;
 use emask_isa::program::{DATA_BASE, MEM_SIZE, STACK_TOP};
-use emask_isa::{Instruction, Op, OpClass, Program, Reg};
+use emask_isa::{encode, Instruction, Op, OpClass, Program, Reg};
 
 /// The reference interpreter.
 #[derive(Debug, Clone)]
 pub struct Interpreter {
-    text: Vec<Instruction>,
-    regs: RegisterFile,
-    mem: DataMemory,
-    pc: u32,
-    halted: bool,
-    executed: u64,
+    pub(crate) text: Vec<Instruction>,
+    pub(crate) regs: RegisterFile,
+    pub(crate) mem: DataMemory,
+    pub(crate) pc: u32,
+    pub(crate) halted: bool,
+    pub(crate) executed: u64,
+    pub(crate) stats: RunResult,
 }
 
 impl Interpreter {
@@ -31,14 +42,27 @@ impl Interpreter {
         let mut mem = DataMemory::new(MEM_SIZE);
         mem.load_image(DATA_BASE, &program.data);
         let mut regs = RegisterFile::new();
-        regs.write(Reg::Sp, STACK_TOP);
+        regs.write(Reg::Sp, STACK_TOP.min(mem.size() - 16));
         regs.write(Reg::Gp, DATA_BASE);
-        Self { text: program.text.clone(), regs, mem, pc: 0, halted: false, executed: 0 }
+        Self {
+            text: program.text.clone(),
+            regs,
+            mem,
+            pc: 0,
+            halted: false,
+            executed: 0,
+            stats: RunResult::default(),
+        }
     }
 
     /// Current value of a register.
     pub fn reg(&self, r: Reg) -> u32 {
         self.regs.read(r)
+    }
+
+    /// Sets a register before (or between) runs — harness argument passing.
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs.write(r, value);
     }
 
     /// Immutable view of data memory.
@@ -49,6 +73,11 @@ impl Interpreter {
     /// Mutable view of data memory (harness setup).
     pub fn memory_mut(&mut self) -> &mut DataMemory {
         &mut self.mem
+    }
+
+    /// The current program counter (text index).
+    pub fn pc(&self) -> u32 {
+        self.pc
     }
 
     /// True once `halt` has executed.
@@ -64,6 +93,13 @@ impl Interpreter {
     /// A snapshot of all registers.
     pub fn registers(&self) -> [u32; 32] {
         self.regs.snapshot()
+    }
+
+    /// Statistics accumulated so far, in [`RunResult`] form. `retired`
+    /// equals `cycles` equals instructions executed; `stalls` and
+    /// `flushed` are always zero (there is no pipeline to stall or flush).
+    pub fn stats(&self) -> RunResult {
+        self.stats
     }
 
     /// Runs until `halt` or the instruction budget is exhausted.
@@ -87,118 +123,274 @@ impl Interpreter {
         Ok(self.executed)
     }
 
+    /// Runs to completion, streaming each synthesized [`CycleActivity`] to
+    /// `observe`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Interpreter::run`].
+    pub fn run_with(
+        &mut self,
+        max_instructions: u64,
+        mut observe: impl FnMut(&CycleActivity),
+    ) -> Result<RunResult, CpuError> {
+        while !self.halted {
+            if self.executed >= max_instructions {
+                return Err(CpuError {
+                    cycle: self.executed,
+                    kind: CpuErrorKind::CycleLimit { limit: max_instructions },
+                });
+            }
+            let act = self.step_record()?;
+            observe(&act);
+        }
+        Ok(self.stats)
+    }
+
+    /// Runs to completion with a [`PipelineHook`] intervening every
+    /// instruction and each (post-hook) [`CycleActivity`] streamed to
+    /// `observe`. With [`crate::NullHook`] this routes to the plain
+    /// [`Interpreter::run_with`] loop at compile time, mirroring
+    /// [`crate::Cpu::run_hooked_with`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Interpreter::run`], plus whatever the hook's `after_cycle`
+    /// raises.
+    pub fn run_hooked_with<H: PipelineHook>(
+        &mut self,
+        max_instructions: u64,
+        hook: &mut H,
+        mut observe: impl FnMut(&CycleActivity),
+    ) -> Result<RunResult, CpuError> {
+        if H::IS_NULL {
+            return self.run_with(max_instructions, observe);
+        }
+        while !self.halted {
+            if self.executed >= max_instructions {
+                return Err(CpuError {
+                    cycle: self.executed,
+                    kind: CpuErrorKind::CycleLimit { limit: max_instructions },
+                });
+            }
+            let act = self.step_hooked(hook)?;
+            observe(&act);
+        }
+        Ok(self.stats)
+    }
+
+    /// Executes one instruction with a hook intervening: `before_cycle`
+    /// first with mutable (architectural) access, then the instruction,
+    /// then `after_cycle` over the synthesized record, which may veto with
+    /// a typed fault.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Interpreter::step`], plus the hook's `after_cycle` error.
+    pub fn step_hooked<H: PipelineHook>(
+        &mut self,
+        hook: &mut H,
+    ) -> Result<CycleActivity, CpuError> {
+        hook.before_cycle(&mut crate::hook::HookCtx::for_interp(self));
+        let cycle = self.executed;
+        let act = self.step_record()?;
+        hook.after_cycle(&act).map_err(|kind| CpuError { cycle, kind })?;
+        Ok(act)
+    }
+
     /// Executes exactly one instruction.
     ///
     /// # Errors
     ///
     /// As for [`Interpreter::run`].
     pub fn step(&mut self) -> Result<(), CpuError> {
-        let fault = |kind| CpuError { cycle: self.executed, kind };
+        self.step_record().map(|_| ())
+    }
+
+    /// Executes one instruction and synthesizes its activity record: the
+    /// fetch, operand, execute, memory and write-back roles of the five
+    /// pipeline stages collapsed into a single record whose `cycle` is the
+    /// instruction index. Bus values are architectural (the interpreter
+    /// has no stale-forwarding window), and operand gating matches the
+    /// pipeline: unused operand buses stay at 0.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Interpreter::run`].
+    pub fn step_record(&mut self) -> Result<CycleActivity, CpuError> {
+        let cycle = self.executed;
+        let fault = |kind| CpuError { cycle, kind };
         let Some(&inst) = self.text.get(self.pc as usize) else {
             return Err(fault(CpuErrorKind::PcOutOfRange { pc: self.pc }));
         };
-        let a = self.regs.read(inst.rs);
-        let b = self.regs.read(inst.rt);
+        let mut act = CycleActivity::idle(cycle);
+        act.fetch_pc = Some(self.pc);
+        act.inst_word = BusSample::new(encode(&inst), inst.secure);
+
+        // Operand read with per-port gating, as in the pipeline's ID/EX.
+        let (use_rs, use_rt) = inst.sources();
+        let a = use_rs.map_or(0, |r| self.regs.read(r));
+        let b = use_rt.map_or(0, |r| self.regs.read(r));
+        act.regfile_reads = u8::from(use_rs.is_some()) + u8::from(use_rt.is_some());
+        act.id_ex_a = BusSample::new(a, inst.secure);
+        act.id_ex_b = BusSample::new(b, inst.secure);
+
+        // One ALU semantics for both backends.
         let imm = inst.imm;
+        let (alu_a, alu_b) = alu_inputs(&inst, a, b, imm);
+        let alu =
+            alu_exec(inst.op, alu_a, alu_b).ok_or_else(|| fault(CpuErrorKind::DivideByZero))?;
+
         let mut next_pc = self.pc + 1;
         match inst.class() {
-            OpClass::AluReg | OpClass::AluImm | OpClass::ShiftImm => {
-                let (x, y) = alu_operands(&inst, a, b);
-                let v = eval(inst.op, x, y).ok_or_else(|| fault(CpuErrorKind::DivideByZero))?;
-                if let Some(d) = inst.dest() {
-                    self.regs.write(d, v);
-                }
+            OpClass::Branch if branch_taken(inst.op, a, b) => {
+                next_pc = (i64::from(self.pc) + 1 + i64::from(imm)) as u32;
             }
-            OpClass::Load => {
-                let addr = a.wrapping_add(imm as u32);
-                let v = self.mem.load(addr).map_err(|e| fault(CpuErrorKind::Memory(e)))?;
-                if let Some(d) = inst.dest() {
-                    self.regs.write(d, v);
-                }
-            }
-            OpClass::Store => {
-                let addr = a.wrapping_add(imm as u32);
-                self.mem.store(addr, b).map_err(|e| fault(CpuErrorKind::Memory(e)))?;
-            }
-            OpClass::Branch => {
-                let taken = match inst.op {
-                    Op::Beq => a == b,
-                    Op::Bne => a != b,
-                    Op::Blez => (a as i32) <= 0,
-                    Op::Bgtz => (a as i32) > 0,
-                    Op::Bltz => (a as i32) < 0,
-                    Op::Bgez => (a as i32) >= 0,
+            OpClass::Jump => {
+                next_pc = match inst.op {
+                    Op::J | Op::Jal => inst.target,
+                    Op::Jr | Op::Jalr => a,
                     _ => unreachable!(),
                 };
-                if taken {
-                    next_pc = (i64::from(self.pc) + 1 + i64::from(imm)) as u32;
-                }
             }
-            OpClass::Jump => match inst.op {
-                Op::J => next_pc = inst.target,
-                Op::Jal => {
-                    self.regs.write(Reg::Ra, self.pc + 1);
-                    next_pc = inst.target;
-                }
-                Op::Jr => next_pc = a,
-                Op::Jalr => {
-                    if let Some(d) = inst.dest() {
-                        self.regs.write(d, self.pc + 1);
-                    }
-                    next_pc = a;
-                }
-                _ => unreachable!(),
-            },
-            OpClass::Halt => self.halted = true,
+            _ => {}
+        }
+        let result = match inst.op {
+            Op::Jal | Op::Jalr => self.pc + 1,
+            _ => alu,
+        };
+        act.ex = Some(ExActivity {
+            pc: self.pc,
+            op: inst.op,
+            class: inst.class(),
+            a: alu_a,
+            b: alu_b,
+            result,
+            secure: inst.secure,
+        });
+        act.ex_mem_result = BusSample::new(result, inst.secure);
+
+        // Memory access + write-back value, as the MEM stage computes it.
+        let value = match inst.class() {
+            OpClass::Load => {
+                let v = self.mem.load(alu).map_err(|e| fault(CpuErrorKind::Memory(e)))?;
+                act.mem =
+                    Some(MemActivity { is_store: false, addr: alu, data: v, secure: inst.secure });
+                act.mem_bus = BusSample::new(v, inst.secure);
+                self.stats.loads += 1;
+                v
+            }
+            OpClass::Store => {
+                self.mem.store(alu, b).map_err(|e| fault(CpuErrorKind::Memory(e)))?;
+                act.mem =
+                    Some(MemActivity { is_store: true, addr: alu, data: b, secure: inst.secure });
+                act.mem_bus = BusSample::new(b, inst.secure);
+                self.stats.stores += 1;
+                alu
+            }
+            _ => result,
+        };
+        act.mem_wb_value = BusSample::new(value, inst.secure);
+
+        // Write-back / retirement.
+        if let Some(d) = inst.dest() {
+            self.regs.write(d, value);
+            act.regfile_write = true;
+        }
+        act.retired = Some(inst);
+        self.stats.retired += 1;
+        if inst.secure {
+            self.stats.retired_secure += 1;
+        }
+        if inst.class() == OpClass::Halt {
+            self.halted = true;
         }
         self.pc = next_pc;
         self.executed += 1;
-        Ok(())
+        self.stats.cycles = self.executed;
+        Ok(act)
     }
 }
 
-fn alu_operands(inst: &Instruction, a: u32, b: u32) -> (u32, u32) {
-    match inst.class() {
-        OpClass::AluReg => (a, b),
-        OpClass::ShiftImm => (b, inst.imm as u32),
-        OpClass::AluImm => match inst.op {
-            Op::Lui => (inst.imm as u32, 16),
-            op if op.zero_extends_imm() => (a, (inst.imm as u32) & 0xFFFF),
-            _ => (a, inst.imm as u32),
-        },
-        _ => (a, b),
-    }
+/// A restorable snapshot of the interpreter, with the same incremental
+/// dirty-page memory scheme as [`crate::CpuCheckpoint`]: a full shadow
+/// copy kept in sync at capture/refresh boundaries, with only the pages
+/// dirtied since the last boundary moved on refresh/restore.
+#[derive(Debug, Clone)]
+pub struct InterpCheckpoint {
+    regs: RegisterFile,
+    pc: u32,
+    halted: bool,
+    executed: u64,
+    stats: RunResult,
+    shadow: DataMemory,
+    last_pages_moved: usize,
 }
 
-fn eval(op: Op, a: u32, b: u32) -> Option<u32> {
-    Some(match op {
-        Op::Addu | Op::Addiu => a.wrapping_add(b),
-        Op::Subu => a.wrapping_sub(b),
-        Op::And | Op::Andi => a & b,
-        Op::Or | Op::Ori => a | b,
-        Op::Xor | Op::Xori => a ^ b,
-        Op::Nor => !(a | b),
-        Op::Sll | Op::Sllv => a.wrapping_shl(b & 31),
-        Op::Srl | Op::Srlv => a.wrapping_shr(b & 31),
-        Op::Sra | Op::Srav => ((a as i32).wrapping_shr(b & 31)) as u32,
-        Op::Slt | Op::Slti => u32::from((a as i32) < (b as i32)),
-        Op::Sltu | Op::Sltiu => u32::from(a < b),
-        Op::Mul => a.wrapping_mul(b),
-        Op::Div => {
-            if b == 0 {
-                return None;
-            }
-            ((a as i32).wrapping_div(b as i32)) as u32
+impl InterpCheckpoint {
+    /// Snapshots `iss` and starts dirty-page tracking from this point.
+    pub fn capture(iss: &mut Interpreter) -> Self {
+        iss.mem.clear_dirty();
+        Self {
+            regs: iss.regs.clone(),
+            pc: iss.pc,
+            halted: iss.halted,
+            executed: iss.executed,
+            stats: iss.stats,
+            shadow: iss.mem.clone(),
+            last_pages_moved: 0,
         }
-        Op::Rem => {
-            if b == 0 {
-                return None;
-            }
-            ((a as i32).wrapping_rem(b as i32)) as u32
+    }
+
+    /// Advances the checkpoint to the interpreter's current state,
+    /// moving only the pages dirtied since the previous boundary.
+    pub fn refresh(&mut self, iss: &mut Interpreter) {
+        let dirty = iss.mem.dirty_pages();
+        self.last_pages_moved = dirty.len();
+        for page in dirty {
+            self.shadow.copy_page_from(&iss.mem, page);
         }
-        Op::Lui => a << 16,
-        _ => a,
-    })
+        iss.mem.clear_dirty();
+        self.regs = iss.regs.clone();
+        self.pc = iss.pc;
+        self.halted = iss.halted;
+        self.executed = iss.executed;
+        self.stats = iss.stats;
+    }
+
+    /// Rolls `iss` back to this checkpoint.
+    pub fn restore(&mut self, iss: &mut Interpreter) {
+        let dirty = iss.mem.dirty_pages();
+        self.last_pages_moved = dirty.len();
+        for page in dirty {
+            iss.mem.copy_page_from(&self.shadow, page);
+        }
+        iss.mem.clear_dirty();
+        iss.regs = self.regs.clone();
+        iss.pc = self.pc;
+        iss.halted = self.halted;
+        iss.executed = self.executed;
+        iss.stats = self.stats;
+        // Symmetry with CpuCheckpoint::restore; the interpreter records no
+        // rail skew (flip_lane is a no-op there), so this is always clean.
+        let _ = RailSkew::default();
+    }
+
+    /// The instruction count at the checkpoint boundary.
+    pub fn cycle(&self) -> u64 {
+        self.executed
+    }
+
+    /// Instructions retired as of the boundary (same as
+    /// [`InterpCheckpoint::cycle`] on this backend).
+    pub fn retired(&self) -> u64 {
+        self.stats.retired
+    }
+
+    /// Pages copied by the most recent refresh or restore.
+    pub fn pages_moved(&self) -> usize {
+        self.last_pages_moved
+    }
 }
 
 #[cfg(test)]
@@ -271,5 +463,100 @@ mod tests {
         let mut iss = Interpreter::new(&p);
         let executed = iss.run(10_000).unwrap();
         assert_eq!(stats.retired, executed, "pipeline must retire what the ISS executes");
+    }
+
+    #[test]
+    fn activity_records_are_architecturally_faithful() {
+        let p = assemble(
+            ".data\nv: .word 9\n.text\n la $t0, v\n slw $t1, 0($t0)\n addu $t2, $t1, $t1\n halt\n",
+        )
+        .unwrap();
+        let mut iss = Interpreter::new(&p);
+        let mut acts = Vec::new();
+        let stats = iss.run_with(1000, |a| acts.push(a.clone())).unwrap();
+        // One record per instruction, densely numbered.
+        assert_eq!(acts.len() as u64, stats.retired);
+        for (i, a) in acts.iter().enumerate() {
+            assert_eq!(a.cycle, i as u64);
+            assert!(a.retired.is_some(), "every ISS record retires");
+        }
+        // The single secure load is visible to marker/energy consumers.
+        let loads: Vec<_> = acts.iter().filter_map(|a| a.mem).filter(|m| !m.is_store).collect();
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads[0].data, 9);
+        assert!(loads[0].secure);
+        assert_eq!(stats.loads, 1);
+        // Retirement order matches the program.
+        assert_eq!(acts.last().unwrap().retired.unwrap().op, Op::Halt);
+    }
+
+    #[test]
+    fn retirement_order_matches_pipeline() {
+        let src = ".text\n li $t0, 3\nloop: addiu $t0, $t0, -1\n bgtz $t0, loop\n halt\n";
+        let p = assemble(src).unwrap();
+        let mut cpu = Cpu::new(&p);
+        let (_, cpu_acts) = cpu.run_collecting(100_000).unwrap();
+        let cpu_retired: Vec<_> = cpu_acts.iter().filter_map(|a| a.retired).collect();
+        let mut iss = Interpreter::new(&p);
+        let mut iss_retired = Vec::new();
+        iss.run_with(100_000, |a| iss_retired.extend(a.retired)).unwrap();
+        assert_eq!(cpu_retired, iss_retired);
+    }
+
+    #[test]
+    fn hooked_run_with_null_hook_matches_plain() {
+        let p = assemble(".text\n li $t0, 5\n mul $t1, $t0, $t0\n halt\n").unwrap();
+        let mut a = Interpreter::new(&p);
+        let mut b = Interpreter::new(&p);
+        a.run(1000).unwrap();
+        b.run_hooked_with(1000, &mut crate::NullHook, |_| {}).unwrap();
+        assert_eq!(a.registers(), b.registers());
+        assert_eq!(a.executed(), b.executed());
+    }
+
+    #[test]
+    fn checkpoint_restore_rewinds_and_replays_identically() {
+        let p = assemble(
+            ".data\nbuf: .space 16\n.text\n la $t0, buf\n li $t1, 0\nloop: sw $t1, 0($t0)\n addiu $t1, $t1, 1\n li $t2, 6\n bne $t1, $t2, loop\n halt\n",
+        )
+        .unwrap();
+        let mut reference = Interpreter::new(&p);
+        reference.run(10_000).unwrap();
+        let mut iss = Interpreter::new(&p);
+        for _ in 0..5 {
+            iss.step().unwrap();
+        }
+        let mut cp = InterpCheckpoint::capture(&mut iss);
+        assert_eq!(cp.cycle(), 5);
+        assert_eq!(cp.retired(), 5);
+        for _ in 0..7 {
+            iss.step().unwrap();
+        }
+        cp.restore(&mut iss);
+        assert_eq!(iss.executed(), 5);
+        while !iss.is_halted() {
+            iss.step().unwrap();
+        }
+        assert_eq!(iss.registers(), reference.registers());
+        assert_eq!(iss.memory(), reference.memory());
+        assert_eq!(iss.stats(), reference.stats());
+    }
+
+    #[test]
+    fn checkpoint_refresh_moves_only_dirty_pages() {
+        let p = assemble(
+            ".data\nbuf: .space 16\n.text\n la $t0, buf\n li $t1, 77\n sw $t1, 0($t0)\n halt\n",
+        )
+        .unwrap();
+        let mut iss = Interpreter::new(&p);
+        let mut cp = InterpCheckpoint::capture(&mut iss);
+        iss.run(1000).unwrap();
+        cp.refresh(&mut iss);
+        assert!(cp.pages_moved() >= 1);
+        assert!(cp.pages_moved() <= 2, "nowhere near the whole RAM");
+        // The baseline moved: restoring now is a no-op.
+        let end = iss.registers();
+        cp.restore(&mut iss);
+        assert_eq!(iss.registers(), end);
     }
 }

@@ -44,6 +44,7 @@
 #![deny(clippy::unwrap_used)]
 
 pub mod activity;
+pub mod backend;
 pub mod checkpoint;
 pub mod hook;
 pub mod interp;
@@ -53,9 +54,10 @@ pub mod pipeline;
 pub mod regfile;
 
 pub use activity::{BusSample, CycleActivity, ExActivity, MemActivity};
+pub use backend::{BackendCheckpoint, CpuBackend};
 pub use checkpoint::CpuCheckpoint;
 pub use hook::{FaultLane, HookCtx, LaneView, NullHook, PipelineHook, RailMode};
-pub use interp::Interpreter;
+pub use interp::{InterpCheckpoint, Interpreter};
 pub use memory::DataMemory;
 pub use observe::{Bus, NullObserver, PipelineObserver};
 pub use pipeline::{Cpu, CpuError, CpuErrorKind, RunResult};

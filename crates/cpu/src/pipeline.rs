@@ -217,6 +217,11 @@ impl Cpu {
         self.regs.write(r, value);
     }
 
+    /// A snapshot of all 32 registers.
+    pub fn registers(&self) -> [u32; 32] {
+        self.regs.snapshot()
+    }
+
     /// Immutable view of data memory.
     pub fn memory(&self) -> &DataMemory {
         &self.mem
@@ -381,7 +386,7 @@ impl Cpu {
         &mut self,
         hook: &mut H,
     ) -> Result<CycleActivity, CpuError> {
-        hook.before_cycle(&mut crate::hook::HookCtx { cpu: self });
+        hook.before_cycle(&mut crate::hook::HookCtx::for_cpu(self));
         let cycle = self.cycle;
         let mut act = self.step()?;
         if !self.rail_skew.is_clean() {
@@ -619,8 +624,9 @@ impl Cpu {
     }
 }
 
-/// Selects the operand values presented to the functional unit.
-fn alu_inputs(inst: &Instruction, a: u32, b_reg: u32, imm: i32) -> (u32, u32) {
+/// Selects the operand values presented to the functional unit. Shared
+/// with the reference interpreter so both backends use one ALU semantics.
+pub(crate) fn alu_inputs(inst: &Instruction, a: u32, b_reg: u32, imm: i32) -> (u32, u32) {
     match inst.class() {
         OpClass::AluReg => (a, b_reg),
         OpClass::AluImm => match inst.op {
@@ -635,8 +641,9 @@ fn alu_inputs(inst: &Instruction, a: u32, b_reg: u32, imm: i32) -> (u32, u32) {
     }
 }
 
-/// Executes an operation; `None` signals division by zero.
-fn alu_exec(op: Op, a: u32, b: u32) -> Option<u32> {
+/// Executes an operation; `None` signals division by zero. Shared with
+/// the reference interpreter.
+pub(crate) fn alu_exec(op: Op, a: u32, b: u32) -> Option<u32> {
     Some(match op {
         Op::Addu | Op::Addiu | Op::Lw | Op::Sw => a.wrapping_add(b),
         Op::Subu => a.wrapping_sub(b),
@@ -668,7 +675,7 @@ fn alu_exec(op: Op, a: u32, b: u32) -> Option<u32> {
     })
 }
 
-fn branch_taken(op: Op, a: u32, b: u32) -> bool {
+pub(crate) fn branch_taken(op: Op, a: u32, b: u32) -> bool {
     let sa = a as i32;
     match op {
         Op::Beq => a == b,

@@ -230,6 +230,7 @@ pub fn encrypt_block(plaintext: u64, key: u64) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cipher::Des;

@@ -115,6 +115,7 @@ pub fn from_bit_vec(bits: &[u8; 64]) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

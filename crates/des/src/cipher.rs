@@ -148,6 +148,7 @@ pub fn sbox_lookup(box_idx: usize, six: u8) -> u8 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

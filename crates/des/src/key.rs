@@ -197,6 +197,7 @@ pub fn is_parity_position(pos: u32) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

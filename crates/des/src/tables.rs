@@ -130,6 +130,7 @@ pub fn sboxes_flat() -> [[u8; 64]; 8] {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::collections::HashSet;

@@ -53,6 +53,7 @@ impl fmt::Display for TripleDes {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cipher::Des;

@@ -62,6 +62,7 @@ pub fn semiweak_partner(key: u64) -> Option<u64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cipher::Des;

@@ -54,6 +54,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 pub mod model;
 pub mod profile;

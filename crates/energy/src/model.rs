@@ -267,6 +267,7 @@ impl Default for EnergyModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use emask_cpu::{Cpu, CycleActivity, MemActivity};

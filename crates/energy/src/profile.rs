@@ -220,6 +220,7 @@ impl LeakageProfile {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::model::ComponentEnergy;

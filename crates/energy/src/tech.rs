@@ -138,6 +138,7 @@ impl Default for EnergyParams {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -234,6 +234,7 @@ impl Extend<f64> for EnergyTrace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

@@ -2,7 +2,8 @@
 //! against a live core.
 
 use crate::plan::{FaultModel, FaultPlan, FaultTarget, FaultTrigger};
-use emask_cpu::{FaultLane, HookCtx, PipelineHook};
+use emask_cpu::{CpuBackend, CpuError, FaultLane, HookCtx, PipelineHook, RunResult};
+use emask_isa::Program;
 
 /// Per-fault bookkeeping across the run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -109,6 +110,28 @@ impl FaultInjector {
             FaultTarget::FetchSquash => ctx.squash_if_id(),
         }
     }
+}
+
+/// Runs `program` to completion on backend `B` with `plan` injected,
+/// returning the final machine, the (spent) injector for forensics, and
+/// the run outcome.
+///
+/// This is the backend-generic campaign entry point: the same plan can be
+/// replayed against the five-stage pipeline and the reference interpreter
+/// to separate *architectural* fault effects (register/memory corruption,
+/// which both backends reproduce identically) from *microarchitectural*
+/// ones (latch-lane strikes and fetch squashes, which degrade to no-ops on
+/// backends without those structures — exactly as a strike on a bubble
+/// does on the pipeline).
+pub fn run_plan_on<B: CpuBackend>(
+    program: &Program,
+    plan: FaultPlan,
+    max_cycles: u64,
+) -> (B, FaultInjector, Result<RunResult, CpuError>) {
+    let mut cpu = B::load(program);
+    let mut inj = FaultInjector::new(plan);
+    let outcome = cpu.run_hooked_with(max_cycles, &mut inj, |_| {});
+    (cpu, inj, outcome)
 }
 
 impl PipelineHook for FaultInjector {
@@ -267,5 +290,39 @@ mod tests {
         let (cpu, inj) = run_with_plan(FaultPlan::new());
         assert!(!inj.any_injected());
         assert_eq!(cpu.reg(Reg::T2), 13);
+    }
+
+    #[test]
+    fn architectural_faults_replay_identically_on_every_backend() {
+        // A register strike is architectural: both backends corrupt the
+        // same downstream sum. (Lane strikes are microarchitectural and
+        // deliberately excluded from this cross-backend contract.)
+        fn strike<B: emask_cpu::CpuBackend>() -> u32 {
+            let plan = FaultPlan::single(FaultSpec {
+                trigger: FaultTrigger::AtRetired(2),
+                target: FaultTarget::Register(8),
+                model: FaultModel::BitFlip { bit: 0 },
+            });
+            let (cpu, inj, outcome) = super::run_plan_on::<B>(&program(), plan, 10_000);
+            outcome.expect("run");
+            assert_eq!(inj.events().len(), 1, "{}", B::NAME);
+            cpu.reg(Reg::T2)
+        }
+        assert_eq!(strike::<Cpu>(), 14);
+        assert_eq!(strike::<emask_cpu::Interpreter>(), 14);
+    }
+
+    #[test]
+    fn lane_strikes_degrade_to_no_ops_on_the_interpreter() {
+        let plan = FaultPlan::single(FaultSpec {
+            trigger: FaultTrigger::CycleWindow { start: 0, end: u64::MAX },
+            target: FaultTarget::Lane(FaultLane::IdExA, RailMode::Both),
+            model: FaultModel::StuckAt { bit: 0, stuck_one: true },
+        });
+        let (cpu, inj, outcome) =
+            super::run_plan_on::<emask_cpu::Interpreter>(&program(), plan, 10_000);
+        outcome.expect("run");
+        assert!(!inj.any_injected(), "no latch lanes to strike");
+        assert_eq!(cpu.reg(Reg::T2), 13, "architectural result untouched");
     }
 }

@@ -23,6 +23,13 @@
 //! installed the hook machinery disappears entirely — the unfaulted path
 //! is the plain [`Cpu::run`](emask_cpu::Cpu::run) loop.
 //!
+//! Everything here works against any [`CpuBackend`](emask_cpu::CpuBackend),
+//! not just the pipeline: [`run_plan_on`] replays a plan on an explicit
+//! backend, and latch-lane strikes degrade to no-ops on backends without
+//! pipeline latches (the reference interpreter), the same way a strike on
+//! a bubble lands nowhere on the pipeline. Register and memory faults are
+//! architectural and reproduce identically everywhere.
+//!
 //! ## Example
 //!
 //! ```
@@ -53,5 +60,5 @@ pub mod inject;
 pub mod plan;
 
 pub use check::DualRailChecker;
-pub use inject::{FaultInjector, InjectionEvent};
+pub use inject::{run_plan_on, FaultInjector, InjectionEvent};
 pub use plan::{FaultModel, FaultPlan, FaultSpec, FaultTarget, FaultTrigger};

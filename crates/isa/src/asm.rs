@@ -532,6 +532,7 @@ fn err(line: usize, message: String) -> AssembleError {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

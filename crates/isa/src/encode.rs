@@ -214,6 +214,7 @@ pub fn disassemble(words: &[u32]) -> Result<Vec<Instruction>, (usize, DecodeErro
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

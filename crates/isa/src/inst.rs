@@ -441,6 +441,7 @@ fn imm_fits(op: Op, v: i32) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

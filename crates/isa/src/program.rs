@@ -142,6 +142,7 @@ impl fmt::Display for Program {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::inst::{Instruction, Op};

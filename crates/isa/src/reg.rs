@@ -184,6 +184,7 @@ impl FromStr for Reg {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

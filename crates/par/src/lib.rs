@@ -784,6 +784,33 @@ where
         .collect()
 }
 
+/// [`par_map`] with **per-shard scratch state**: `init(shard_index)` runs
+/// once per shard, and every trial in that shard receives `&mut` access to
+/// the state it built.
+///
+/// This is the entry point for campaigns whose trial body needs an
+/// expensive, reusable engine — e.g. a simulator backend (any
+/// `emask-cpu` `CpuBackend`) constructed once per shard and re-loaded per
+/// trial, rather than rebuilt from scratch `n` times. Determinism is
+/// unchanged from [`par_map`] *provided* `f` leaves no trial-visible
+/// residue in the state (reset/reload per trial): the shard layout is a
+/// pure function of `n`, every shard's trial order is fixed, and results
+/// come back in index order — bit-identical for any `jobs` count.
+pub fn par_map_with<S, T, I, F>(jobs: Jobs, n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    run_sharded(jobs, n, |s, range| {
+        let mut state = init(s);
+        range.map(|i| f(&mut state, i)).collect::<Vec<T>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Folds the shard accumulators produced by [`run_sharded`] left-to-right
 /// with `merge` — the fixed-order reduction that keeps floating-point
 /// merges thread-count-invariant. Returns `None` for an empty shard list
@@ -842,6 +869,34 @@ mod tests {
         for jobs in [1usize, 2, 4, 7, 16] {
             let par = par_map(Jobs::new(jobs).expect("nonzero"), 250, f);
             assert_eq!(par, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_reuses_state_within_a_shard_and_stays_deterministic() {
+        // The state factory runs once per shard; the fold sees the same
+        // results for any jobs count as long as each trial resets what it
+        // uses (here the state is a counter we deliberately *don't* leak
+        // into the result beyond the shard-local reuse check).
+        let inits = AtomicU64::new(0);
+        let f = |i: usize| (i as u64).wrapping_mul(31) ^ 7;
+        let serial: Vec<u64> = (0..300).map(f).collect();
+        for jobs in [1usize, 4, 7] {
+            inits.store(0, Ordering::Relaxed);
+            let out = par_map_with(
+                Jobs::new(jobs).expect("nonzero"),
+                300,
+                |_shard| {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u64 // per-shard scratch (stands in for a Cpu backend)
+                },
+                |scratch, i| {
+                    *scratch += 1; // reused across the shard's trials
+                    f(i)
+                },
+            );
+            assert_eq!(out, serial, "jobs = {jobs}");
+            assert_eq!(inits.load(Ordering::Relaxed), SHARDS as u64, "one init per shard");
         }
     }
 

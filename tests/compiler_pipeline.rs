@@ -5,6 +5,7 @@
 use emask::cc::{compile, CompileError, CompileOptions, MaskPolicy};
 use emask::cpu::Cpu;
 use emask::isa::Reg;
+use emask_conformance::random_reduce_source;
 use proptest::prelude::*;
 
 fn run(src: &str, opts: CompileOptions) -> u32 {
@@ -176,13 +177,7 @@ proptest! {
     /// Both codegen modes agree on random straight-line programs.
     #[test]
     fn codegen_modes_agree_on_random_programs(vals in proptest::collection::vec(0u32..100, 4..8)) {
-        let inits: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
-        let n = vals.len();
-        let src = format!(
-            "int a[{n}] = {{{}}}; int main() {{ int i; int acc = 1; \
-             for (i = 0; i < {n}; i = i + 1) {{ acc = acc * 3 + a[i]; }} return acc; }}",
-            inits.join(", ")
-        );
+        let src = random_reduce_source(&vals);
         let x = run(&src, CompileOptions::with_policy(MaskPolicy::None));
         let y = run(&src, CompileOptions::paper_style(MaskPolicy::None));
         prop_assert_eq!(x, y);

@@ -62,36 +62,9 @@ fn hooked_run_with_armed_checker_is_transparent() {
     assert!(checker.samples_checked() > 0, "a masked DES run must expose secure samples");
 }
 
-/// A family of random-but-terminating Tiny-C programs: a global array
-/// initialized from random constants, a bounded loop applying a random
-/// mix of operations, and a random reduction.
-fn random_program(seed: &[u32], ops: &[u8], bound: u32) -> String {
-    let inits: Vec<String> = seed.iter().map(|v| v.to_string()).collect();
-    let n = seed.len();
-    let mut body = String::new();
-    for (k, op) in ops.iter().enumerate() {
-        let expr = match op % 6 {
-            0 => format!("a[i] + {}", k + 1),
-            1 => "a[i] ^ acc".to_string(),
-            2 => "(a[i] << 1) | 1".to_string(),
-            3 => format!("a[i] - acc + {k}"),
-            4 => "(a[i] * 3) % 251".to_string(),
-            _ => format!("a[i] & (acc | {k})"),
-        };
-        body.push_str(&format!("a[i] = {expr}; "));
-    }
-    format!(
-        "int a[{n}] = {{{}}};\n\
-         int main() {{\n\
-           int i; int j; int acc = 1;\n\
-           for (j = 0; j < {bound}; j = j + 1) {{\n\
-             for (i = 0; i < {n}; i = i + 1) {{ {body} acc = acc + a[i]; }}\n\
-           }}\n\
-           return acc;\n\
-         }}",
-        inits.join(", ")
-    )
-}
+// The random Tiny-C program family lives in `emask-conformance` now,
+// shared with the three-way differential and conformance suites.
+use emask_conformance::random_program;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]

@@ -8,6 +8,7 @@ use emask::cc::{compile, CompileOptions, MaskPolicy};
 use emask::cc::{lower::lower_unit, opt, parser::parse, sema::check};
 use emask::cpu::Cpu;
 use emask::isa::Reg;
+use emask_conformance::{random_array_source, random_expression_source};
 use proptest::prelude::*;
 
 fn via_ir(src: &str, optimize: bool) -> u32 {
@@ -69,28 +70,13 @@ proptest! {
         c in 0u32..16,
         pick in 0u8..5,
     ) {
-        let expr = match pick {
-            0 => format!("({a} + {b}) * ({b} - {a}) + ({a} << {c})"),
-            1 => format!("({a} / {b}) % ({b} + 1) ^ {a}"),
-            2 => format!("(({a} | {b}) & ~{b}) + ({a} >> {c})"),
-            3 => format!("({a} < {b}) * 100 + ({a} == {a}) * 10 + ({b} >= {b})"),
-            _ => format!("-{a} + !{b} + ~{a}"),
-        };
-        let src = format!("int main() {{ return {expr}; }}");
+        let src = random_expression_source(a, b, c, pick);
         assert_three_way(&src);
     }
 
     #[test]
     fn random_array_programs_agree(vals in proptest::collection::vec(0u32..256, 3..7), rounds in 1u32..4) {
-        let n = vals.len();
-        let inits: Vec<String> = vals.iter().map(u32::to_string).collect();
-        let src = format!(
-            "int a[{n}] = {{{}}}; int main() {{ int r; int i; int acc = 0;\
-             for (r = 0; r < {rounds}; r = r + 1) {{\
-               for (i = 0; i < {n}; i = i + 1) {{ a[i] = (a[i] * 5 + r) % 251; acc = acc ^ a[i]; }}\
-             }} return acc; }}",
-            inits.join(", ")
-        );
+        let src = random_array_source(&vals, rounds);
         assert_three_way(&src);
     }
 }
