@@ -80,7 +80,7 @@ fn main() -> ExitCode {
     // The campaign-service subcommands have their own flag grammar.
     if matches!(
         args.first().map(String::as_str),
-        Some("serve" | "submit" | "status" | "stats" | "cancel" | "watch")
+        Some("serve" | "submit" | "status" | "stats" | "cancel" | "watch" | "loadgen")
     ) {
         return service_cli(&args);
     }
@@ -372,6 +372,16 @@ fn service_cli(args: &[String]) -> ExitCode {
     let mut socket: Option<String> = None;
     let mut queue_depth = 32usize;
     let mut budget_mb = 512u64;
+    let mut executors: Option<usize> = None;
+    let mut thread_budget: Option<usize> = None;
+    let mut aging: Option<u64> = None;
+    let mut quotas: [Option<usize>; 3] = [None; 3];
+    let mut clients = 4usize;
+    let mut per_client = 6usize;
+    let mut seed = 7u64;
+    let mut cancel_pct = 10u32;
+    let mut wait_secs = 120u64;
+    let mut verify = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -392,6 +402,50 @@ fn service_cli(args: &[String]) -> ExitCode {
                 Some(v) if v > 0 => budget_mb = v,
                 _ => return service_usage("--memory-budget-mb needs a positive size"),
             },
+            "--executors" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => executors = Some(v),
+                _ => return service_usage("--executors needs a positive count"),
+            },
+            "--thread-budget" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => thread_budget = Some(v),
+                _ => return service_usage("--thread-budget needs a positive count"),
+            },
+            "--aging" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => aging = Some(v),
+                _ => return service_usage("--aging needs a dispatch count (0 disables)"),
+            },
+            "--quota-high" | "--quota-normal" | "--quota-batch" => {
+                let slot = match a.as_str() {
+                    "--quota-high" => 0,
+                    "--quota-normal" => 1,
+                    _ => 2,
+                };
+                match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => quotas[slot] = Some(v),
+                    _ => return service_usage(&format!("{a} needs a positive count")),
+                }
+            }
+            "--clients" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => clients = v,
+                _ => return service_usage("--clients needs a positive count"),
+            },
+            "--per-client" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => per_client = v,
+                _ => return service_usage("--per-client needs a positive count"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                _ => return service_usage("--seed needs a number"),
+            },
+            "--cancel-pct" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v <= 100 => cancel_pct = v,
+                _ => return service_usage("--cancel-pct needs a percent in 0..=100"),
+            },
+            "--wait-secs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => wait_secs = v,
+                _ => return service_usage("--wait-secs needs a positive count"),
+            },
+            "--verify" => verify = true,
             flag if flag.starts_with("--") => {
                 return service_usage(&format!("unknown flag `{flag}`"));
             }
@@ -412,8 +466,52 @@ fn service_cli(args: &[String]) -> ExitCode {
             cfg.socket = socket_path;
             cfg.queue_depth = queue_depth;
             cfg.memory_budget = budget_mb * 1024 * 1024;
+            if let Some(n) = executors {
+                cfg.executors = n;
+            }
+            if let Some(n) = thread_budget {
+                cfg.thread_budget = n;
+            }
+            if let Some(n) = aging {
+                cfg.aging_threshold = n;
+            }
+            for (slot, quota) in quotas.iter().enumerate() {
+                if let Some(q) = quota {
+                    cfg.class_quotas[slot] = *q;
+                }
+            }
             match emask_serve::serve(&cfg, BenchRunner) {
                 Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "loadgen" => {
+            let cfg = emask_bench::LoadgenConfig {
+                socket: socket_path,
+                state_dir: std::path::PathBuf::from(&state_dir),
+                clients,
+                per_client,
+                seed,
+                cancel_pct,
+                wait_secs,
+                verify,
+            };
+            match emask_bench::loadgen::run(&cfg) {
+                Ok(report) => {
+                    print!("{report}");
+                    let undrained = report.by_state.iter().any(|(s, n)| {
+                        (s == "queued" || s == "running" || s == "unknown") && *n > 0
+                    });
+                    if report.mismatches > 0 || undrained {
+                        eprintln!("error: loadgen found mismatches or undrained jobs");
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
                 Err(e) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
@@ -498,15 +596,28 @@ fn service_usage(err: &str) -> ExitCode {
         "usage: repro serve  [--state-dir DIR] [--socket PATH] [--queue-depth N] [--memory-budget-mb N]"
     );
     eprintln!(
-        "       repro submit [--socket PATH] '{{\"experiment\":\"fault\",\"trials\":400,...}}'"
+        "                    [--executors N] [--thread-budget N] [--aging N] \
+         [--quota-high N] [--quota-normal N] [--quota-batch N]"
+    );
+    eprintln!(
+        "       repro submit [--socket PATH] '{{\"experiment\":\"fault\",\"trials\":400,\"priority\":\"batch\",...}}'"
     );
     eprintln!("       repro status [--socket PATH]");
     eprintln!("       repro stats  [--socket PATH]");
     eprintln!("       repro cancel [--socket PATH] JOB");
     eprintln!("       repro watch  [--socket PATH] JOB");
+    eprintln!(
+        "       repro loadgen [--socket PATH] [--state-dir DIR] [--clients N] [--per-client N]"
+    );
+    eprintln!("                    [--seed N] [--cancel-pct N] [--wait-secs N] [--verify]");
     eprintln!("  the default socket is <state-dir>/serve.sock (state dir: emask-serve-state)");
     eprintln!("  `submit` prints the job id; results land in <state-dir>/job-<id>.csv");
+    eprintln!("  spec 'priority' is high|normal|batch; High preempts Batch under saturation");
     eprintln!("  SIGTERM drains gracefully; a restarted server auto-resumes parked jobs");
+    eprintln!(
+        "  `loadgen --verify` re-runs every completed job solo and byte-compares its CSV \
+         (nonzero exit on any mismatch)"
+    );
     ExitCode::FAILURE
 }
 

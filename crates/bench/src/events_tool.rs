@@ -122,7 +122,9 @@ pub fn summarize(text: &str) -> Result<String, String> {
     let mut jobs: BTreeMap<u64, &str> = BTreeMap::new();
     for line in &lines {
         let verdict = match line.kind.as_str() {
-            "job_queued" | "job_resumed" => "queued",
+            // A preempted job is back in its class queue; `job_promoted`
+            // only changes the class, not the state, so it is skipped.
+            "job_queued" | "job_resumed" | "job_preempted" => "queued",
             "job_started" | "job_retried" => "running",
             "job_cancelled" => "cancelled",
             "job_deadline_exceeded" => "deadline_exceeded",
@@ -230,7 +232,7 @@ pub fn summarize(text: &str) -> Result<String, String> {
 /// Lifecycle and convergence kinds worth an instant row in the trace.
 /// Per-trial kinds (`fault_outcome`, `trial_completed`, heartbeats) are
 /// deliberately absent — thousands of instants bury the span tree.
-const INSTANT_KINDS: [&str; 12] = [
+const INSTANT_KINDS: [&str; 14] = [
     "campaign_completed",
     "campaign_started",
     "checkpoint_written",
@@ -238,6 +240,8 @@ const INSTANT_KINDS: [&str; 12] = [
     "job_cancelled",
     "job_completed",
     "job_deadline_exceeded",
+    "job_preempted",
+    "job_promoted",
     "job_queued",
     "job_resumed",
     "job_retried",

@@ -44,6 +44,7 @@ pub mod checkpoint;
 pub mod events_tool;
 pub mod experiments;
 pub mod live;
+pub mod loadgen;
 pub mod service;
 
 pub use campaign::{
@@ -64,4 +65,5 @@ pub use live::{
     dpa_attack_convergence, dpa_attack_convergence_cancellable, leakage_attribution,
     tvla_convergence, tvla_convergence_cancellable, LeakageComparison,
 };
+pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use service::BenchRunner;

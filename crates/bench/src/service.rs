@@ -140,7 +140,10 @@ fn run_experiment(spec: &JobSpec, ctx: &JobCtx<'_>) -> RunStatus {
             Ok(p) => p,
             Err(reason) => return RunStatus::Failed { reason, transient: false },
         };
-        let jobs = Jobs::new(spec.jobs).unwrap_or_else(Jobs::serial);
+        // The spec's worker count is an upper bound; the scheduler's
+        // lease (ctx.workers) is the actual grant. Results are
+        // byte-identical at any worker count, so the clamp is free.
+        let jobs = Jobs::new(spec.jobs.clamp(1, ctx.workers.max(1))).unwrap_or_else(Jobs::serial);
         match spec.experiment.as_str() {
             "fault" => {
                 let des = match compile(policy, spec.rounds) {
@@ -311,6 +314,7 @@ mod tests {
                 sink: &sink,
                 checkpoint: &ckpt,
                 span: emask_telemetry::SpanId::ROOT,
+                workers: 1,
             },
         );
         let _ = std::fs::remove_file(&events);
@@ -400,6 +404,7 @@ mod tests {
                 sink: &sink,
                 checkpoint: &ckpt,
                 span: emask_telemetry::SpanId::ROOT,
+                workers: 1,
             },
         );
         assert!(matches!(status, RunStatus::Interrupted(i) if i.completed_trials == 0));

@@ -30,6 +30,10 @@
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used)]
 
+mod lease;
+
+pub use lease::{Lease, ThreadBudget};
+
 use std::any::Any;
 use std::num::NonZeroUsize;
 use std::ops::Range;
@@ -49,17 +53,22 @@ pub enum CancelReason {
     /// The process is shutting down; stop at the next trial boundary so
     /// in-flight work can be checkpointed.
     Shutdown,
+    /// A scheduler preempted the run to free its workers for
+    /// higher-priority work; stop at the next trial boundary so the run
+    /// can be checkpointed and re-queued.
+    Preempted,
 }
 
 impl CancelReason {
     /// The stable report/event name (`cancelled`, `deadline_exceeded`,
-    /// `shutdown`).
+    /// `shutdown`, `preempted`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             CancelReason::Cancelled => "cancelled",
             CancelReason::DeadlineExceeded => "deadline_exceeded",
             CancelReason::Shutdown => "shutdown",
+            CancelReason::Preempted => "preempted",
         }
     }
 }
@@ -98,6 +107,8 @@ struct TokenInner {
     flag: AtomicU8,
     /// Wall-clock instant after which `check` self-cancels.
     deadline: Option<Instant>,
+    /// The worker-count lease this run holds, if an arbiter granted one.
+    lease: Option<Lease>,
 }
 
 impl CancelToken {
@@ -113,12 +124,41 @@ impl CancelToken {
     /// from now.
     #[must_use]
     pub fn with_deadline(deadline: Duration) -> Self {
+        Self::for_job(Some(deadline), None)
+    }
+
+    /// The fully-configured token a supervisor hands a run: an optional
+    /// wall-clock deadline plus an optional worker-count [`Lease`].
+    ///
+    /// A `deadline` too large to represent as an `Instant` is treated as
+    /// no deadline at all (it could never expire within the process
+    /// lifetime) rather than panicking on `Instant` overflow.
+    #[must_use]
+    pub fn for_job(deadline: Option<Duration>, lease: Option<Lease>) -> Self {
         CancelToken {
             inner: Arc::new(TokenInner {
                 flag: AtomicU8::new(LIVE),
-                deadline: Some(Instant::now() + deadline),
+                deadline: deadline.and_then(|d| Instant::now().checked_add(d)),
+                lease,
             }),
         }
+    }
+
+    /// The worker-count lease this token carries, if any.
+    #[must_use]
+    pub fn lease(&self) -> Option<&Lease> {
+        self.inner.lease.as_ref()
+    }
+
+    /// Whether worker `index` of a sharded runner may pull another shard.
+    ///
+    /// Worker 0 always may — a lease never stalls a run outright — and
+    /// without a lease every worker may. Checked at shard boundaries, so
+    /// a lease shrink drains the excess workers as they finish their
+    /// current shard.
+    #[must_use]
+    pub fn worker_allowed(&self, index: usize) -> bool {
+        index == 0 || self.inner.lease.as_ref().is_none_or(|l| index < l.allowed())
     }
 
     /// Requests cancellation. The first reason wins: cancelling an
@@ -167,6 +207,7 @@ fn reason_from(flag: u8) -> CancelReason {
     match flag {
         f if f == CancelReason::Cancelled as u8 + 1 => CancelReason::Cancelled,
         f if f == CancelReason::DeadlineExceeded as u8 + 1 => CancelReason::DeadlineExceeded,
+        f if f == CancelReason::Preempted as u8 + 1 => CancelReason::Preempted,
         _ => CancelReason::Shutdown,
     }
 }
@@ -428,10 +469,16 @@ where
         let next = AtomicUsize::new(0);
         thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let (next, ranges, run_one) = (&next, &ranges, &run_one);
+                    scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
+                            // Lease arbitration: excess workers retire at
+                            // shard boundaries once the grant shrinks.
+                            if !token.worker_allowed(w) {
+                                break;
+                            }
                             let s = next.fetch_add(1, Ordering::Relaxed);
                             let Some(range) = ranges.get(s) else { break };
                             local.push((s, run_one(s, range.clone())));
@@ -687,8 +734,15 @@ where
         let next = AtomicUsize::new(0);
         thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| loop {
+                .map(|w| {
+                    let (next, ranges, run_shard) = (&next, &ranges, &run_shard);
+                    scope.spawn(move || loop {
+                        // Same lease check as run_sharded_cancellable:
+                        // worker 0 always proceeds, the rest retire once
+                        // the grant shrinks below their index.
+                        if !token.worker_allowed(w) {
+                            break;
+                        }
                         let s = next.fetch_add(1, Ordering::Relaxed);
                         let Some(range) = ranges.get(s) else { break };
                         run_shard(s, range.clone());
@@ -1300,6 +1354,90 @@ mod tests {
         .expect_err("expired deadline");
         assert_eq!(err.reason, CancelReason::DeadlineExceeded);
         assert_eq!(err.completed_trials, 0);
+    }
+
+    #[test]
+    fn preempted_reason_round_trips() {
+        let t = CancelToken::new();
+        t.cancel(CancelReason::Preempted);
+        assert_eq!(t.reason(), Some(CancelReason::Preempted));
+        assert_eq!(CancelReason::Preempted.name(), "preempted");
+        // First reason still wins over a later preempt.
+        let t = CancelToken::new();
+        t.cancel(CancelReason::Cancelled);
+        t.cancel(CancelReason::Preempted);
+        assert_eq!(t.reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn oversized_deadline_means_no_deadline() {
+        // Duration::MAX past now() does not fit in an Instant; the token
+        // must treat it as unreachable instead of panicking.
+        let t = CancelToken::for_job(Some(Duration::MAX), None);
+        assert_eq!(t.check(), Ok(()));
+    }
+
+    #[test]
+    fn unleased_token_allows_every_worker() {
+        let t = CancelToken::new();
+        assert!(t.worker_allowed(0));
+        assert!(t.worker_allowed(7));
+        assert!(t.lease().is_none());
+    }
+
+    #[test]
+    fn leased_token_bounds_active_workers() {
+        let budget = ThreadBudget::new(8);
+        let lease = budget.lease(2);
+        let t = CancelToken::for_job(None, Some(lease));
+        assert!(t.worker_allowed(0) && t.worker_allowed(1));
+        assert!(!t.worker_allowed(2));
+        t.lease().expect("leased").shrink(1);
+        assert!(t.worker_allowed(0), "worker 0 survives any shrink");
+        assert!(!t.worker_allowed(1));
+        t.lease().expect("leased").release();
+        assert!(t.worker_allowed(0), "worker 0 survives even release");
+        assert_eq!(budget.available(), 8);
+    }
+
+    #[test]
+    fn single_worker_lease_serializes_the_pool() {
+        // With a grant of 1, at most one shard body runs at a time even
+        // when the runner was asked for 4 threads.
+        let budget = ThreadBudget::new(4);
+        let token = CancelToken::for_job(None, Some(budget.lease(1)));
+        let active = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let out = run_sharded_cancellable(Jobs::new(4).expect("jobs"), 200, &token, |_, range| {
+            let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            thread::sleep(Duration::from_millis(1));
+            active.fetch_sub(1, Ordering::SeqCst);
+            Ok(range.len())
+        })
+        .expect("uncancelled");
+        assert_eq!(out.iter().sum::<usize>(), 200, "every shard still ran");
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "grant of 1 means serial execution");
+    }
+
+    #[test]
+    fn shrink_mid_run_keeps_results_byte_identical() {
+        let worker = |_: usize, range: Range<usize>| range.map(|i| i * 31 + 7).sum::<usize>();
+        let reference = run_sharded(Jobs::new(4).expect("jobs"), 1_000, worker);
+        let budget = ThreadBudget::new(4);
+        let lease = budget.lease(4);
+        let token = CancelToken::for_job(None, Some(lease.clone()));
+        let dispatched = AtomicUsize::new(0);
+        let shrunk =
+            run_sharded_cancellable(Jobs::new(4).expect("jobs"), 1_000, &token, |s, range| {
+                // Take three workers back partway through the campaign.
+                if dispatched.fetch_add(1, Ordering::SeqCst) == 5 {
+                    lease.shrink(1);
+                }
+                Ok(worker(s, range))
+            })
+            .expect("a shrink never cancels the run");
+        assert_eq!(shrunk, reference);
     }
 
     #[test]

@@ -38,13 +38,15 @@
 pub mod client;
 pub mod json;
 mod retry;
+mod scheduler;
 mod server;
 mod signal;
 mod sink;
 mod spec;
 mod supervisor;
 
-pub use retry::RetryPolicy;
+pub use retry::{RetryPolicy, MAX_BACKOFF_MS};
+pub use scheduler::Priority;
 pub use server::{serve, ServerConfig};
 pub use signal::{install as install_signal_handler, terminated};
 pub use sink::JobSink;

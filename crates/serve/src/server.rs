@@ -38,11 +38,20 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Per-job accumulator budget in bytes.
     pub memory_budget: u64,
+    /// Concurrent executor threads.
+    pub executors: usize,
+    /// Worker threads in the shared pool the executors lease from.
+    pub thread_budget: usize,
+    /// Batch starvation-avoidance aging threshold (0 disables).
+    pub aging_threshold: u64,
+    /// Per-class admission quotas, High/Normal/Batch order.
+    pub class_quotas: [usize; 3],
 }
 
 impl ServerConfig {
     /// Defaults around a state directory: socket `<dir>/serve.sock`,
-    /// depth 32, budget 512 MiB.
+    /// plus the [`SupervisorConfig`] defaults (depth 32, budget 512 MiB,
+    /// executors and thread budget at the machine's parallelism).
     #[must_use]
     pub fn new(state_dir: PathBuf) -> Self {
         let sup = SupervisorConfig::new(state_dir.clone());
@@ -51,6 +60,10 @@ impl ServerConfig {
             state_dir,
             queue_depth: sup.queue_depth,
             memory_budget: sup.memory_budget,
+            executors: sup.executors,
+            thread_budget: sup.thread_budget,
+            aging_threshold: sup.aging_threshold,
+            class_quotas: sup.class_quotas,
         }
     }
 }
@@ -75,7 +88,14 @@ fn stats_payload(stats: &ServiceStats, shutting_down: bool) -> String {
     use std::fmt::Write as _;
     let mut out =
         format!("\"shutting_down\":{shutting_down},\"queue_depth\":{}", stats.queue_depth);
-    out.push_str(",\"states\":{");
+    out.push_str(",\"queue_by_class\":{");
+    for (i, (name, count)) in stats.queue_by_class.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{count}");
+    }
+    out.push_str("},\"states\":{");
     for (i, (name, count)) in stats.states.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -118,7 +138,12 @@ pub fn serve<R: ExperimentRunner + 'static>(cfg: &ServerConfig, runner: R) -> Re
         state_dir: cfg.state_dir.clone(),
         queue_depth: cfg.queue_depth,
         memory_budget: cfg.memory_budget,
+        executors: cfg.executors.max(1),
+        thread_budget: cfg.thread_budget.max(1),
+        aging_threshold: cfg.aging_threshold,
+        class_quotas: cfg.class_quotas,
     };
+    let executors = sup_cfg.executors;
     let sup = Arc::new(Supervisor::new(sup_cfg, runner).map_err(|e| e.to_string())?);
     let resumed = sup.rescan()?;
     for id in &resumed {
@@ -128,11 +153,15 @@ pub fn serve<R: ExperimentRunner + 'static>(cfg: &ServerConfig, runner: R) -> Re
     let _ = std::fs::remove_file(&cfg.socket);
     let listener = UnixListener::bind(&cfg.socket).map_err(|e| e.to_string())?;
     listener.set_nonblocking(true).map_err(|e| e.to_string())?;
-    let executor = std::thread::spawn({
-        let sup = Arc::clone(&sup);
-        move || sup.run_executor()
-    });
-    eprintln!("emask-serve: listening on {}", cfg.socket.display());
+    let executor_threads: Vec<_> = (0..executors)
+        .map(|_| {
+            std::thread::spawn({
+                let sup = Arc::clone(&sup);
+                move || sup.run_executor()
+            })
+        })
+        .collect();
+    eprintln!("emask-serve: listening on {} ({executors} executors)", cfg.socket.display());
     // The gauge heartbeat rides the 25 ms accept poll: every 40th idle
     // poll (~1 s) pushes one operational `service_metrics` event to the
     // live watchers. Operational events are never persisted, so the
@@ -153,6 +182,7 @@ pub fn serve<R: ExperimentRunner + 'static>(cfg: &ServerConfig, runner: R) -> Re
                 idle_polls += 1;
                 if idle_polls.is_multiple_of(40) {
                     sup.emit_service_metrics();
+                    sup.emit_scheduler_heartbeat();
                 }
             }
             Err(e) => eprintln!("emask-serve: accept failed: {e}"),
@@ -160,8 +190,10 @@ pub fn serve<R: ExperimentRunner + 'static>(cfg: &ServerConfig, runner: R) -> Re
     }
     eprintln!("emask-serve: draining for shutdown");
     sup.begin_shutdown();
-    if executor.join().is_err() {
-        eprintln!("emask-serve: executor thread panicked during drain");
+    for executor in executor_threads {
+        if executor.join().is_err() {
+            eprintln!("emask-serve: executor thread panicked during drain");
+        }
     }
     let _ = std::fs::remove_file(&cfg.socket);
     eprintln!("emask-serve: shutdown complete");
@@ -223,10 +255,11 @@ fn respond<R: ExperimentRunner>(
                 .iter()
                 .map(|s| {
                     format!(
-                        "{{\"job\":{},\"experiment\":\"{}\",\"state\":\"{}\",\"attempt\":{}}}",
+                        "{{\"job\":{},\"experiment\":\"{}\",\"state\":\"{}\",\"priority\":\"{}\",\"attempt\":{}}}",
                         s.id,
                         escape(&s.experiment),
                         s.state,
+                        s.priority,
                         s.attempt
                     )
                 })

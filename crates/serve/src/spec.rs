@@ -44,6 +44,9 @@ pub struct JobSpec {
     /// Base backoff before the first retry, in milliseconds; doubles per
     /// retry (see [`RetryPolicy`](crate::RetryPolicy)).
     pub backoff_ms: u64,
+    /// Scheduling class: `high`, `normal` (default), or `batch` (see
+    /// [`Priority`](crate::Priority)).
+    pub priority: String,
 }
 
 impl Default for JobSpec {
@@ -61,6 +64,7 @@ impl Default for JobSpec {
             deadline_ms: None,
             max_retries: 2,
             backoff_ms: 100,
+            priority: "normal".into(),
         }
     }
 }
@@ -147,6 +151,16 @@ impl JobSpec {
             Some(Json::Str(s)) => s.clone(),
             Some(_) => return Err(SpecError::Field { field: "policy", expected: "a string" }),
         };
+        let priority = match doc.get("priority") {
+            None | Some(Json::Null) => d.priority,
+            Some(Json::Str(s)) if crate::scheduler::Priority::from_name(s).is_some() => s.clone(),
+            Some(_) => {
+                return Err(SpecError::Field {
+                    field: "priority",
+                    expected: "one of \"high\", \"normal\", \"batch\"",
+                })
+            }
+        };
         let deadline_ms = match doc.get("deadline_ms") {
             None | Some(Json::Null) => None,
             Some(v) => Some(v.as_u64().ok_or(SpecError::Field {
@@ -171,6 +185,7 @@ impl JobSpec {
                     expected: "a small integer",
                 })?,
             backoff_ms: take_u64(doc, "backoff_ms", d.backoff_ms)?,
+            priority,
         })
     }
 
@@ -187,7 +202,7 @@ impl JobSpec {
                 "{{\"experiment\":\"{}\",\"trials\":{},\"rounds\":{},",
                 "\"policy\":\"{}\",\"sbox\":{},\"seed\":{},\"recover\":{},",
                 "\"cadence\":{},\"jobs\":{},\"deadline_ms\":{},",
-                "\"max_retries\":{},\"backoff_ms\":{}}}"
+                "\"max_retries\":{},\"backoff_ms\":{},\"priority\":\"{}\"}}"
             ),
             escape(&self.experiment),
             self.trials,
@@ -201,6 +216,7 @@ impl JobSpec {
             deadline,
             self.max_retries,
             self.backoff_ms,
+            escape(&self.priority),
         )
     }
 }
@@ -234,6 +250,7 @@ mod tests {
             deadline_ms: Some(60_000),
             max_retries: 1,
             backoff_ms: 250,
+            priority: "batch".into(),
         };
         let text = spec.to_json();
         let reparsed = JobSpec::from_json(&text).unwrap();
@@ -260,5 +277,21 @@ mod tests {
     fn zero_jobs_clamps_to_one() {
         let s = JobSpec::from_json(r#"{"experiment":"tvla","jobs":0}"#).unwrap();
         assert_eq!(s.jobs, 1);
+    }
+
+    #[test]
+    fn priority_defaults_to_normal_and_rejects_unknown_classes() {
+        let s = JobSpec::from_json(r#"{"experiment":"dpa"}"#).unwrap();
+        assert_eq!(s.priority, "normal");
+        let s = JobSpec::from_json(r#"{"experiment":"dpa","priority":"batch"}"#).unwrap();
+        assert_eq!(s.priority, "batch");
+        assert!(matches!(
+            JobSpec::from_json(r#"{"experiment":"dpa","priority":"urgent"}"#),
+            Err(SpecError::Field { field: "priority", .. })
+        ));
+        assert!(matches!(
+            JobSpec::from_json(r#"{"experiment":"dpa","priority":7}"#),
+            Err(SpecError::Field { field: "priority", .. })
+        ));
     }
 }

@@ -8,8 +8,10 @@
 //!              │           │  ├────▶ Failed            (retries exhausted)
 //!              │           │  ├────▶ Cancelled         (client cancel)
 //!              │           │  ├────▶ DeadlineExceeded  (wall-clock budget)
-//!              ▼           │  └─ Interrupted(Shutdown) ─▶ Queued (resumes
-//!          Cancelled       │                               on restart)
+//!              │           │  ├─ Interrupted(Shutdown) ─▶ Queued (resumes
+//!              ▼           │  │                            on restart)
+//!          Cancelled       │  └─ Interrupted(Preempted) ─▶ Queued (front
+//!                          │                                of its class)
 //!                          └─ transient failure ─▶ backoff ─▶ Running
 //! ```
 //!
@@ -28,11 +30,12 @@
 //! byte-identical to an uninterrupted run.
 
 use crate::retry::RetryPolicy;
+use crate::scheduler::{ClassQueues, Priority};
 use crate::sink::JobSink;
 use crate::spec::{JobSpec, SpecError};
-use emask_par::{CancelReason, CancelToken, Interrupted};
+use emask_par::{CancelReason, CancelToken, Interrupted, Jobs, Lease, ThreadBudget};
 use emask_telemetry::{Event, EventSink, Histogram, Span, SpanId};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -136,6 +139,10 @@ pub struct JobCtx<'a> {
     /// them below this id with [`Span::below`], so the offline trace
     /// nests job → attempt → shard without the runner knowing job ids.
     pub span: SpanId,
+    /// Worker threads granted by the scheduler's lease for this attempt —
+    /// the upper bound the runner should size its pool to (the lease on
+    /// the token may shrink it further mid-run).
+    pub workers: usize,
 }
 
 /// The experiment side of the service: validates and sizes specs at
@@ -166,6 +173,14 @@ pub enum RejectReason {
         /// The configured bound.
         depth: usize,
     },
+    /// The job's class is at its admission quota (the global queue may
+    /// still have room for other classes).
+    ClassQuota {
+        /// The class that is full.
+        class: &'static str,
+        /// Its configured quota.
+        quota: usize,
+    },
     /// The job's estimated accumulator footprint exceeds the budget.
     Budget {
         /// Runner's estimate for this spec, bytes.
@@ -188,6 +203,7 @@ impl RejectReason {
         match self {
             RejectReason::ShuttingDown => "shutting_down",
             RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::ClassQuota { .. } => "class_quota",
             RejectReason::Budget { .. } => "budget",
             RejectReason::Invalid(_) => "invalid",
             RejectReason::Spec(_) => "spec",
@@ -201,6 +217,9 @@ impl fmt::Display for RejectReason {
         match self {
             RejectReason::ShuttingDown => write!(f, "server is shutting down"),
             RejectReason::QueueFull { depth } => write!(f, "queue full (depth {depth})"),
+            RejectReason::ClassQuota { class, quota } => {
+                write!(f, "{class} class at its admission quota ({quota})")
+            }
             RejectReason::Budget { estimated, budget } => write!(
                 f,
                 "estimated accumulator footprint {estimated} B exceeds the per-job budget {budget} B"
@@ -223,6 +242,9 @@ pub struct JobStatus {
     pub experiment: String,
     /// Current state.
     pub state: JobState,
+    /// Current scheduling class (aging may have promoted it above the
+    /// spec's class).
+    pub priority: Priority,
     /// Attempts started so far (0 = not yet run).
     pub attempt: u32,
 }
@@ -237,22 +259,51 @@ pub struct SupervisorConfig {
     /// Per-job accumulator budget in bytes; the runner's estimate must
     /// fit or the submission bounces with [`RejectReason::Budget`].
     pub memory_budget: u64,
+    /// Concurrent executor threads draining the queue.
+    pub executors: usize,
+    /// Worker threads in the shared [`ThreadBudget`] the executors'
+    /// campaigns lease from.
+    pub thread_budget: usize,
+    /// Starvation-avoidance aging: after this many High/Normal dispatches
+    /// that bypass waiting Batch work, the oldest Batch job is promoted
+    /// to Normal. 0 disables aging.
+    pub aging_threshold: u64,
+    /// Per-class admission quotas (High, Normal, Batch order), layered on
+    /// top of the global `queue_depth`.
+    pub class_quotas: [usize; 3],
 }
 
 impl SupervisorConfig {
-    /// Defaults: depth 32, budget 512 MiB.
+    /// Defaults: depth 32, budget 512 MiB, executors and thread budget at
+    /// the machine's parallelism, aging after 8 bypasses, per-class
+    /// quotas equal to the global depth (i.e. only the global bound).
     #[must_use]
     pub fn new(state_dir: PathBuf) -> Self {
-        SupervisorConfig { state_dir, queue_depth: 32, memory_budget: 512 * 1024 * 1024 }
+        let parallelism = Jobs::auto().get();
+        SupervisorConfig {
+            state_dir,
+            queue_depth: 32,
+            memory_budget: 512 * 1024 * 1024,
+            executors: parallelism,
+            thread_budget: parallelism,
+            aging_threshold: 8,
+            class_quotas: [32; 3],
+        }
     }
 }
 
 struct JobRecord {
     spec: JobSpec,
     state: JobState,
+    /// Scheduling class. Starts as the spec's priority; aging may promote
+    /// a Batch job to Normal for the rest of its life.
+    class: Priority,
     attempt: u32,
     cancel_requested: bool,
     token: Option<CancelToken>,
+    /// The running job's claim on the shared thread budget; present
+    /// exactly while an attempt runs.
+    lease: Option<Lease>,
     sink: Arc<JobSink>,
     /// When the job last entered the queue (set at submit, park, rescan);
     /// feeds the queue-wait latency histogram at dequeue.
@@ -264,7 +315,10 @@ struct JobRecord {
 
 struct Inner {
     jobs: BTreeMap<u64, JobRecord>,
-    pending: VecDeque<u64>,
+    queues: ClassQueues,
+    /// Executors currently inside `run_job` — the preemption trigger's
+    /// "are we saturated" gauge.
+    running: usize,
     next_id: u64,
 }
 
@@ -279,6 +333,9 @@ struct LatencyHistograms {
     queue_wait_ms: Histogram,
     run_ms: Histogram,
     backoff_ms: Histogram,
+    /// Queue wait broken out per scheduling class (High, Normal, Batch
+    /// order) — the starvation/priority-inversion dashboard.
+    queue_wait_class_ms: [Histogram; 3],
 }
 
 impl LatencyHistograms {
@@ -287,6 +344,11 @@ impl LatencyHistograms {
             queue_wait_ms: Histogram::new(25.0, 40),
             run_ms: Histogram::new(25.0, 40),
             backoff_ms: Histogram::new(25.0, 40),
+            queue_wait_class_ms: [
+                Histogram::new(25.0, 40),
+                Histogram::new(25.0, 40),
+                Histogram::new(25.0, 40),
+            ],
         }
     }
 }
@@ -336,6 +398,9 @@ impl LatencyStats {
 pub struct ServiceStats {
     /// Jobs waiting in the queue right now.
     pub queue_depth: u64,
+    /// The same gauge broken out per scheduling class, dispatch order
+    /// (`high`, `normal`, `batch`), every class present.
+    pub queue_by_class: Vec<(&'static str, u64)>,
     /// Jobs per state, in [`JobState`] declaration order; every state is
     /// present (zero counts included) so consumers needn't special-case.
     pub states: Vec<(&'static str, u64)>,
@@ -347,9 +412,10 @@ pub struct ServiceStats {
     pub dropped_by_kind: Vec<(String, u64)>,
 }
 
-/// The supervised campaign queue. One executor thread drains it
-/// ([`run_executor`](Supervisor::run_executor)); any number of protocol
-/// threads submit/cancel/observe.
+/// The supervised campaign queue. N executor threads drain it
+/// ([`run_executor`](Supervisor::run_executor)), arbitrating one shared
+/// [`ThreadBudget`] via leases; any number of protocol threads
+/// submit/cancel/observe.
 pub struct Supervisor<R> {
     cfg: SupervisorConfig,
     runner: R,
@@ -357,6 +423,7 @@ pub struct Supervisor<R> {
     work: Condvar,
     shutdown: AtomicBool,
     stats: Mutex<LatencyHistograms>,
+    budget: ThreadBudget,
 }
 
 impl<R> fmt::Debug for Supervisor<R> {
@@ -373,18 +440,27 @@ impl<R: ExperimentRunner> Supervisor<R> {
     /// Forwards the directory-creation error.
     pub fn new(cfg: SupervisorConfig, runner: R) -> std::io::Result<Self> {
         std::fs::create_dir_all(&cfg.state_dir)?;
+        let budget = ThreadBudget::new(cfg.thread_budget);
         Ok(Supervisor {
             cfg,
             runner,
             inner: Mutex::new(Inner {
                 jobs: BTreeMap::new(),
-                pending: VecDeque::new(),
+                queues: ClassQueues::new(),
+                running: 0,
                 next_id: 1,
             }),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: Mutex::new(LatencyHistograms::new()),
+            budget,
         })
+    }
+
+    /// The shared worker-thread ledger the executors lease from.
+    #[must_use]
+    pub fn thread_budget(&self) -> &ThreadBudget {
+        &self.budget
     }
 
     /// The job's top-level span — a pure function of the id, so any code
@@ -405,9 +481,12 @@ impl<R: ExperimentRunner> Supervisor<R> {
     }
 
     /// Rebuilds the queue from the state directory: every spec without a
-    /// done marker is re-enqueued (emitting [`Event::JobResumed`]); jobs
-    /// with a marker are registered in their terminal state so `status`
-    /// still reports them. Returns the resumed ids, ascending.
+    /// done marker is re-enqueued into its class queue (emitting
+    /// [`Event::JobResumed`]); jobs with a marker are registered in their
+    /// terminal state so `status` still reports them. Job ids are sorted
+    /// before re-enqueue, so resume order is a deterministic function of
+    /// the directory's contents, never of its iteration order. Returns
+    /// the resumed ids, ascending.
     ///
     /// # Errors
     ///
@@ -434,12 +513,13 @@ impl<R: ExperimentRunner> Supervisor<R> {
                 JobSink::open(&self.path(id, "events.jsonl"))
                     .map_err(|e| format!("job {id}: {e}"))?,
             );
+            let class = Priority::from_name(&spec.priority).unwrap_or(Priority::Normal);
             let state = match std::fs::read_to_string(self.path(id, "done")) {
                 Ok(marker) => JobState::from_name(marker.trim()).unwrap_or(JobState::Failed),
                 Err(_) => {
                     sink.emit(Event::JobResumed { job: id });
                     resumed.push(id);
-                    inner.pending.push_back(id);
+                    inner.queues.push_back(class, id);
                     JobState::Queued
                 }
             };
@@ -452,9 +532,11 @@ impl<R: ExperimentRunner> Supervisor<R> {
                 JobRecord {
                     spec,
                     state,
+                    class,
                     attempt: 0,
                     cancel_requested: false,
                     token: None,
+                    lease: None,
                     sink,
                     queued_at: Instant::now(),
                     waits: 1,
@@ -469,9 +551,13 @@ impl<R: ExperimentRunner> Supervisor<R> {
         Ok(resumed)
     }
 
-    /// Admits a job: validates via the runner, checks queue depth and
-    /// memory budget, persists the spec, emits [`Event::JobQueued`], and
-    /// wakes the executor.
+    /// Admits a job: validates via the runner, checks queue depth, class
+    /// quota, and memory budget, persists the spec, emits
+    /// [`Event::JobQueued`], and wakes an executor. A High submission
+    /// that finds every executor saturated preempts the youngest running
+    /// Batch job (its token trips with [`CancelReason::Preempted`]; it
+    /// parks at its next trial boundary and resumes later from its
+    /// checkpoint).
     ///
     /// # Errors
     ///
@@ -484,9 +570,14 @@ impl<R: ExperimentRunner> Supervisor<R> {
         if estimated > self.cfg.memory_budget {
             return Err(RejectReason::Budget { estimated, budget: self.cfg.memory_budget });
         }
+        let class = Priority::from_name(&spec.priority).unwrap_or(Priority::Normal);
         let mut inner = self.inner.lock().expect("supervisor poisoned");
-        if inner.pending.len() >= self.cfg.queue_depth {
+        if inner.queues.total() >= self.cfg.queue_depth {
             return Err(RejectReason::QueueFull { depth: self.cfg.queue_depth });
+        }
+        let quota = self.cfg.class_quotas[class.index()];
+        if inner.queues.depth(class) >= quota {
+            return Err(RejectReason::ClassQuota { class: class.name(), quota });
         }
         let id = inner.next_id;
         std::fs::write(self.path(id, "spec.json"), spec.to_json())
@@ -511,15 +602,38 @@ impl<R: ExperimentRunner> Supervisor<R> {
             JobRecord {
                 spec,
                 state: JobState::Queued,
+                class,
                 attempt: 0,
                 cancel_requested: false,
                 token: None,
+                lease: None,
                 sink,
                 queued_at: Instant::now(),
                 waits: 1,
             },
         );
-        inner.pending.push_back(id);
+        inner.queues.push_back(class, id);
+        if class == Priority::High && inner.running >= self.cfg.executors.max(1) {
+            // Every executor is busy: a High job must not sit behind
+            // Batch work. Trip the youngest running Batch job; it parks
+            // at its next trial boundary and the freed executor picks
+            // this job up.
+            let victim = inner
+                .jobs
+                .iter()
+                .filter(|(_, r)| {
+                    r.state == JobState::Running
+                        && r.class == Priority::Batch
+                        && r.token.as_ref().is_some_and(|t| !t.is_cancelled())
+                })
+                .map(|(&vid, _)| vid)
+                .next_back();
+            if let Some(vid) = victim {
+                if let Some(token) = inner.jobs.get(&vid).and_then(|r| r.token.as_ref()) {
+                    token.cancel(CancelReason::Preempted);
+                }
+            }
+        }
         drop(inner);
         self.work.notify_all();
         Ok(id)
@@ -547,7 +661,7 @@ impl<R: ExperimentRunner> Supervisor<R> {
             rec.state = JobState::Cancelled;
             let sink = Arc::clone(&rec.sink);
             let waits = rec.waits;
-            inner.pending.retain(|&p| p != id);
+            inner.queues.remove(id);
             drop(inner);
             let job = Self::job_span(id);
             job.child("queue_wait", waits).close_on(&*sink, waits);
@@ -569,6 +683,7 @@ impl<R: ExperimentRunner> Supervisor<R> {
                 id,
                 experiment: rec.spec.experiment.clone(),
                 state: rec.state,
+                priority: rec.class,
                 attempt: rec.attempt,
             })
             .collect()
@@ -623,7 +738,9 @@ impl<R: ExperimentRunner> Supervisor<R> {
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
         let inner = self.inner.lock().expect("supervisor poisoned");
-        let queue_depth = inner.pending.len() as u64;
+        let queue_depth = inner.queues.total() as u64;
+        let queue_by_class: Vec<(&'static str, u64)> =
+            Priority::ALL.iter().map(|&c| (c.name(), inner.queues.depth(c) as u64)).collect();
         let states = Self::state_counts(&inner);
         let mut dropped_events = 0u64;
         let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
@@ -639,10 +756,14 @@ impl<R: ExperimentRunner> Supervisor<R> {
             LatencyStats::summarize("queue_wait_ms", &h.queue_wait_ms),
             LatencyStats::summarize("run_ms", &h.run_ms),
             LatencyStats::summarize("backoff_ms", &h.backoff_ms),
+            LatencyStats::summarize("queue_wait_high_ms", &h.queue_wait_class_ms[0]),
+            LatencyStats::summarize("queue_wait_normal_ms", &h.queue_wait_class_ms[1]),
+            LatencyStats::summarize("queue_wait_batch_ms", &h.queue_wait_class_ms[2]),
         ];
         drop(h);
         ServiceStats {
             queue_depth,
+            queue_by_class,
             states,
             latencies,
             dropped_events,
@@ -679,15 +800,50 @@ impl<R: ExperimentRunner> Supervisor<R> {
         }
     }
 
-    /// Starts graceful shutdown: no new admissions, the running job's
-    /// token trips with [`CancelReason::Shutdown`], the executor drains
-    /// and parks everything else for the next start.
+    /// Emits one [`Event::SchedulerHeartbeat`] gauge snapshot (per-class
+    /// queue depths, running jobs, executor count, unleased workers) to
+    /// every non-terminal job's sink. Operational, like
+    /// [`emit_service_metrics`](Supervisor::emit_service_metrics): never
+    /// persisted, so the replayable history is untouched.
+    pub fn emit_scheduler_heartbeat(&self) {
+        let inner = self.inner.lock().expect("supervisor poisoned");
+        let depth = |c: Priority| inner.queues.depth(c) as u64;
+        let event = Event::SchedulerHeartbeat {
+            high: depth(Priority::High),
+            normal: depth(Priority::Normal),
+            batch: depth(Priority::Batch),
+            running: inner.running as u64,
+            executors: self.cfg.executors as u64,
+            pool_available: u64::try_from(self.budget.available()).unwrap_or(0),
+        };
+        let live: Vec<Arc<JobSink>> = inner
+            .jobs
+            .values()
+            .filter(|r| !r.state.terminal())
+            .map(|r| Arc::clone(&r.sink))
+            .collect();
+        drop(inner);
+        for sink in live {
+            sink.emit(event.clone());
+        }
+    }
+
+    /// Starts graceful shutdown: no new admissions; running Batch and
+    /// Normal jobs trip with [`CancelReason::Shutdown`] and park at their
+    /// next trial boundary (Batch tokens are swept first), while running
+    /// High jobs are left to finish within their deadline — the drain
+    /// order the scheduler promises. Executors exit once their in-flight
+    /// job parks or finishes.
     pub fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         let inner = self.inner.lock().expect("supervisor poisoned");
-        for rec in inner.jobs.values() {
-            if let Some(token) = &rec.token {
-                token.cancel(CancelReason::Shutdown);
+        for sweep in [Priority::Batch, Priority::Normal] {
+            for rec in inner.jobs.values() {
+                if rec.class == sweep {
+                    if let Some(token) = &rec.token {
+                        token.cancel(CancelReason::Shutdown);
+                    }
+                }
             }
         }
         drop(inner);
@@ -700,28 +856,46 @@ impl<R: ExperimentRunner> Supervisor<R> {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// The executor loop: runs queued jobs until shutdown. Call from a
-    /// dedicated thread; returns once shutdown is requested and the
-    /// in-flight job (if any) has parked or finished.
+    /// The executor loop: runs queued jobs until shutdown. Call from N
+    /// dedicated threads (one per configured executor); each returns once
+    /// shutdown is requested and its in-flight job (if any) has parked or
+    /// finished.
     pub fn run_executor(&self) {
         loop {
-            let id = {
+            let (id, promoted) = {
                 let mut inner = self.inner.lock().expect("supervisor poisoned");
                 loop {
                     if self.shutdown.load(Ordering::SeqCst) {
                         return;
                     }
-                    if let Some(id) = inner.pending.pop_front() {
+                    if let Some((id, promoted)) = inner.queues.pop(self.cfg.aging_threshold) {
                         // Jobs cancelled while queued are already terminal.
                         if inner.jobs.get(&id).is_some_and(|r| !r.state.terminal()) {
-                            break id;
+                            // Aging promoted a starved Batch job: it is
+                            // Normal from here on.
+                            let promoted = promoted.and_then(|pid| {
+                                let rec = inner.jobs.get_mut(&pid)?;
+                                rec.class = Priority::Normal;
+                                Some((pid, Arc::clone(&rec.sink)))
+                            });
+                            inner.running += 1;
+                            break (id, promoted);
                         }
                         continue;
                     }
                     inner = self.work.wait(inner).expect("supervisor poisoned");
                 }
             };
+            if let Some((pid, sink)) = promoted {
+                sink.emit(Event::JobPromoted {
+                    job: pid,
+                    from: Priority::Batch.name().into(),
+                    to: Priority::Normal.name().into(),
+                });
+            }
             self.run_job(id);
+            let mut inner = self.inner.lock().expect("supervisor poisoned");
+            inner.running = inner.running.saturating_sub(1);
         }
     }
 
@@ -737,6 +911,9 @@ impl<R: ExperimentRunner> Supervisor<R> {
         let Some(rec) = inner.jobs.get_mut(&id) else { return };
         rec.state = state;
         rec.token = None;
+        if let Some(lease) = rec.lease.take() {
+            lease.release();
+        }
         let sink = Arc::clone(&rec.sink);
         let attempts = u64::from(rec.attempt);
         drop(inner);
@@ -751,33 +928,90 @@ impl<R: ExperimentRunner> Supervisor<R> {
     /// to queued, no done marker, history keeps its events.
     fn park(&self, id: u64) {
         let mut inner = self.inner.lock().expect("supervisor poisoned");
+        let mut class = Priority::Normal;
         if let Some(rec) = inner.jobs.get_mut(&id) {
             rec.state = JobState::Queued;
             rec.token = None;
+            if let Some(lease) = rec.lease.take() {
+                lease.release();
+            }
             rec.waits += 1;
             rec.queued_at = Instant::now();
+            class = rec.class;
             // A parked job waits again: open the next queue-wait span.
             Self::job_span(id).child("queue_wait", rec.waits).open_on(&*rec.sink);
             // End live watch streams; watchers reconnect after restart.
             rec.sink.disconnect_subscribers();
         }
-        inner.pending.push_front(id);
+        inner.queues.push_front(class, id);
+    }
+
+    /// Requeues a preempted job (state back to queued at the *front* of
+    /// its class, lease returned to the budget) and records the
+    /// preemption in its replayable history. Unlike [`park`], watchers
+    /// stay connected: the job resumes in this same process.
+    fn requeue_after_preempt(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("supervisor poisoned");
+        let Some(rec) = inner.jobs.get_mut(&id) else { return };
+        rec.state = JobState::Queued;
+        rec.token = None;
+        if let Some(lease) = rec.lease.take() {
+            lease.release();
+        }
+        rec.waits += 1;
+        rec.queued_at = Instant::now();
+        let sink = Arc::clone(&rec.sink);
+        let waits = rec.waits;
+        let class = rec.class;
+        inner.queues.push_front(class, id);
+        drop(inner);
+        sink.emit(Event::JobPreempted { job: id });
+        Self::job_span(id).child("queue_wait", waits).open_on(&*sink);
+        self.work.notify_all();
     }
 
     fn run_job(&self, id: u64) {
         let job = Self::job_span(id);
-        let (spec, sink, wait_ms, waits) = {
+        let (spec, sink, class, wait_ms, waits) = {
             let mut inner = self.inner.lock().expect("supervisor poisoned");
             let Some(rec) = inner.jobs.get_mut(&id) else { return };
             rec.state = JobState::Running;
             let wait_ms = rec.queued_at.elapsed().as_secs_f64() * 1e3;
-            (rec.spec.clone(), Arc::clone(&rec.sink), wait_ms, rec.waits)
+            (rec.spec.clone(), Arc::clone(&rec.sink), rec.class, wait_ms, rec.waits)
         };
-        self.stats.lock().expect("stats poisoned").queue_wait_ms.record(wait_ms);
+        {
+            let mut h = self.stats.lock().expect("stats poisoned");
+            h.queue_wait_ms.record(wait_ms);
+            h.queue_wait_class_ms[class.index()].record(wait_ms);
+        }
         // Close the pending queue-wait span. Its open may sit on the
         // other side of a server restart — the replayed stream then shows
         // one queue wait arcing over the outage, which is the truth.
         job.child("queue_wait", waits).close_on(&*sink, waits);
+        // Lease workers from the shared budget. A High job that finds the
+        // pool drained first shrinks running Batch jobs down to one worker
+        // each (they yield at their next shard boundary); whatever is
+        // still short after that, the minimum-grant rule covers.
+        let want = spec.jobs.max(1);
+        if class == Priority::High && self.budget.available() < want as i64 {
+            let inner = self.inner.lock().expect("supervisor poisoned");
+            for rec in inner.jobs.values() {
+                if self.budget.available() >= want as i64 {
+                    break;
+                }
+                if rec.state == JobState::Running && rec.class == Priority::Batch {
+                    if let Some(lease) = &rec.lease {
+                        lease.shrink(1);
+                    }
+                }
+            }
+        }
+        let lease = self.budget.lease(want);
+        {
+            let mut inner = self.inner.lock().expect("supervisor poisoned");
+            let Some(rec) = inner.jobs.get_mut(&id) else { return };
+            rec.lease = Some(lease.clone());
+        }
         let policy = RetryPolicy {
             max_retries: spec.max_retries,
             base_ms: spec.backoff_ms,
@@ -795,8 +1029,9 @@ impl<R: ExperimentRunner> Supervisor<R> {
                 }
             }
             // The deadline is a whole-job wall-clock budget: each attempt
-            // gets whatever remains of it.
-            let token = match spec.deadline_ms {
+            // gets whatever remains of it. The token carries the lease so
+            // the campaign's workers observe shrinks at shard boundaries.
+            let deadline = match spec.deadline_ms {
                 Some(ms) => {
                     let total = Duration::from_millis(ms);
                     let elapsed = started.elapsed();
@@ -808,10 +1043,11 @@ impl<R: ExperimentRunner> Supervisor<R> {
                         );
                         return;
                     }
-                    CancelToken::with_deadline(total - elapsed)
+                    Some(total - elapsed)
                 }
-                None => CancelToken::new(),
+                None => None,
             };
+            let token = CancelToken::for_job(deadline, Some(lease.clone()));
             {
                 let mut inner = self.inner.lock().expect("supervisor poisoned");
                 let Some(rec) = inner.jobs.get_mut(&id) else { return };
@@ -832,8 +1068,13 @@ impl<R: ExperimentRunner> Supervisor<R> {
             // its id is what the runner hangs shard spans below.
             let attempt_span = job.child("attempt", u64::from(attempt));
             attempt_span.open_on(&*sink);
-            let ctx =
-                JobCtx { token: &token, sink: &sink, checkpoint: &ckpt, span: attempt_span.id };
+            let ctx = JobCtx {
+                token: &token,
+                sink: &sink,
+                checkpoint: &ckpt,
+                span: attempt_span.id,
+                workers: lease.allowed().max(1),
+            };
             let run_started = Instant::now();
             let status = catch_unwind(AssertUnwindSafe(|| self.runner.run(&spec, &ctx)));
             self.stats
@@ -879,6 +1120,10 @@ impl<R: ExperimentRunner> Supervisor<R> {
                         }
                         CancelReason::Shutdown => {
                             self.park(id);
+                            return;
+                        }
+                        CancelReason::Preempted => {
+                            self.requeue_after_preempt(id);
                             return;
                         }
                     }

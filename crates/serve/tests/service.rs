@@ -85,6 +85,10 @@ fn spec(trials: usize) -> JobSpec {
     JobSpec { experiment: "step".into(), trials, ..JobSpec::default() }
 }
 
+fn spec_class(trials: usize, priority: &str) -> JobSpec {
+    JobSpec { priority: priority.into(), ..spec(trials) }
+}
+
 fn wait_terminal<R: ExperimentRunner>(sup: &Supervisor<R>, id: u64) -> JobState {
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
@@ -333,6 +337,111 @@ fn shutdown_restart_resume_is_byte_identical() {
     });
     let events = std::fs::read_to_string(dir.join(format!("job-{id}.events.jsonl"))).unwrap();
     assert!(events.contains("job_resumed"), "resume is part of the replayable history");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The scheduler contract: a High submission against a saturated
+/// executor pool preempts the running Batch job at a trial boundary,
+/// runs to completion first, and the Batch job then resumes from its
+/// checkpoint to a byte-identical result.
+#[test]
+fn high_submission_preempts_the_running_batch_job() {
+    let dir = state_dir("preempt");
+    let cfg = SupervisorConfig { executors: 1, ..SupervisorConfig::new(dir.clone()) };
+    let sup = Arc::new(Supervisor::new(cfg, StepRunner::new(1)).unwrap());
+    with_executor(&sup, |sup| {
+        let batch = sup.submit(spec_class(2_000, "batch")).unwrap();
+        while sup.job_state(batch).unwrap() != JobState::Running {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let high = sup.submit(spec_class(50, "high")).unwrap();
+        assert_eq!(wait_terminal(sup, high), JobState::Completed);
+        assert_ne!(
+            sup.job_state(batch).unwrap(),
+            JobState::Completed,
+            "the high job must finish before the much longer batch job"
+        );
+        assert_eq!(wait_terminal(sup, batch), JobState::Completed);
+        let csv = std::fs::read_to_string(sup.csv_path(batch)).unwrap();
+        assert_eq!(
+            csv,
+            StepRunner::expected_csv(&spec(2_000)),
+            "preemption never changes the result"
+        );
+        let events =
+            std::fs::read_to_string(dir.join(format!("job-{batch}.events.jsonl"))).unwrap();
+        assert!(events.contains("job_preempted"), "missing job_preempted in {events}");
+        assert_eq!(
+            events.matches("job_started").count(),
+            2,
+            "one start per side of the preemption: {events}"
+        );
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Starvation avoidance: with `aging_threshold` dispatches skipping a
+/// queued Batch job, the scheduler promotes it into the Normal class and
+/// records the promotion in its replayable history.
+#[test]
+fn starved_batch_jobs_age_into_the_normal_class() {
+    let dir = state_dir("aging");
+    let cfg =
+        SupervisorConfig { executors: 1, aging_threshold: 2, ..SupervisorConfig::new(dir.clone()) };
+    let sup = Arc::new(Supervisor::new(cfg, StepRunner::new(0)).unwrap());
+    // Queue up before any executor runs: one Batch job behind a wall of
+    // Normal jobs, so the dispatch-count aging must trigger.
+    let batch = sup.submit(spec_class(5, "batch")).unwrap();
+    let normals: Vec<u64> = (0..4).map(|_| sup.submit(spec(5)).unwrap()).collect();
+    with_executor(&sup, |sup| {
+        assert_eq!(wait_terminal(sup, batch), JobState::Completed);
+        for id in normals {
+            assert_eq!(wait_terminal(sup, id), JobState::Completed);
+        }
+    });
+    let events = std::fs::read_to_string(dir.join(format!("job-{batch}.events.jsonl"))).unwrap();
+    assert!(events.contains("job_promoted"), "two skips must promote the batch job: {events}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Per-class admission quotas are independent: saturating one class
+/// rejects only that class with a typed reason.
+#[test]
+fn class_quota_rejects_only_the_saturated_class() {
+    let dir = state_dir("quota");
+    let cfg = SupervisorConfig { class_quotas: [1, 1, 1], ..SupervisorConfig::new(dir.clone()) };
+    let sup = Supervisor::new(cfg, StepRunner::new(0)).unwrap();
+    // No executor: everything stays queued against its quota.
+    sup.submit(spec_class(5, "batch")).unwrap();
+    let err = sup.submit(spec_class(5, "batch")).unwrap_err();
+    assert!(matches!(err, RejectReason::ClassQuota { class: "batch", quota: 1 }), "{err}");
+    sup.submit(spec(5)).unwrap();
+    sup.submit(spec_class(5, "high")).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Rescan resumes interrupted jobs sorted by job id — never in
+/// filesystem directory-iteration order — so a restarted server replays
+/// its queue deterministically.
+#[test]
+fn rescan_resumes_interrupted_jobs_in_id_order() {
+    let dir = state_dir("rescan-order");
+    let sup = Supervisor::new(SupervisorConfig::new(dir.clone()), StepRunner::new(0)).unwrap();
+    let ids = vec![
+        sup.submit(spec_class(5, "normal")).unwrap(),
+        sup.submit(spec_class(5, "batch")).unwrap(),
+        sup.submit(spec_class(5, "high")).unwrap(),
+    ];
+    drop(sup);
+    let sup =
+        Arc::new(Supervisor::new(SupervisorConfig::new(dir.clone()), StepRunner::new(0)).unwrap());
+    let resumed = sup.rescan().unwrap();
+    assert_eq!(resumed, ids, "rescan order is sorted by job id, not directory order");
+    with_executor(&sup, |sup| {
+        for &id in &ids {
+            assert_eq!(wait_terminal(sup, id), JobState::Completed);
+        }
+    });
     let _ = std::fs::remove_dir_all(&dir);
 }
 

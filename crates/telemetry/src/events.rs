@@ -149,6 +149,23 @@ pub enum Event {
         /// Service-assigned job id.
         job: u64,
     },
+    /// Replayable job-lifecycle event: the scheduler parked the running
+    /// job at a trial boundary to free its workers for higher-priority
+    /// work; the job went back to the front of its class queue.
+    JobPreempted {
+        /// Service-assigned job id.
+        job: u64,
+    },
+    /// Replayable job-lifecycle event: starvation-avoidance aging
+    /// promoted the job to a higher priority class.
+    JobPromoted {
+        /// Service-assigned job id.
+        job: u64,
+        /// The class the job left (`"batch"`).
+        from: String,
+        /// The class the job joined (`"normal"`).
+        to: String,
+    },
     /// Replayable job-lifecycle event: the job reached a terminal state.
     JobCompleted {
         /// Service-assigned job id.
@@ -198,6 +215,24 @@ pub enum Event {
         /// Jobs that ran out of wall-clock budget.
         deadline_exceeded: u64,
     },
+    /// Operational: a periodic snapshot of the multi-executor scheduler —
+    /// per-class queue depths plus pool occupancy. Scheduling-dependent
+    /// by nature, so it never enters the replayable stream.
+    SchedulerHeartbeat {
+        /// High-priority jobs waiting.
+        high: u64,
+        /// Normal-priority jobs waiting.
+        normal: u64,
+        /// Batch jobs waiting.
+        batch: u64,
+        /// Jobs currently executing.
+        running: u64,
+        /// Configured executor count.
+        executors: u64,
+        /// Unleased worker threads in the shared pool (0 when the
+        /// minimum-grant rule has it oversubscribed).
+        pool_available: u64,
+    },
     /// Operational: one trial finished on some worker.
     TrialCompleted {
         /// Trial index.
@@ -240,6 +275,8 @@ impl Event {
                 | Event::JobCancelled { .. }
                 | Event::JobDeadlineExceeded { .. }
                 | Event::JobResumed { .. }
+                | Event::JobPreempted { .. }
+                | Event::JobPromoted { .. }
                 | Event::JobCompleted { .. }
                 | Event::SpanOpened { .. }
                 | Event::SpanClosed { .. }
@@ -248,7 +285,7 @@ impl Event {
 
     /// Every event tag, ascending — the authority consumers (e.g.
     /// `repro events validate`) check unknown streams against.
-    pub const KINDS: [&'static str; 19] = [
+    pub const KINDS: [&'static str; 22] = [
         "campaign_completed",
         "campaign_started",
         "checkpoint_written",
@@ -257,11 +294,14 @@ impl Event {
         "job_cancelled",
         "job_completed",
         "job_deadline_exceeded",
+        "job_preempted",
+        "job_promoted",
         "job_queued",
         "job_resumed",
         "job_retried",
         "job_started",
         "recovery_attempted",
+        "scheduler_heartbeat",
         "service_metrics",
         "shard_completed",
         "span_closed",
@@ -285,10 +325,13 @@ impl Event {
             Event::JobCancelled { .. } => "job_cancelled",
             Event::JobDeadlineExceeded { .. } => "job_deadline_exceeded",
             Event::JobResumed { .. } => "job_resumed",
+            Event::JobPreempted { .. } => "job_preempted",
+            Event::JobPromoted { .. } => "job_promoted",
             Event::JobCompleted { .. } => "job_completed",
             Event::SpanOpened { .. } => "span_opened",
             Event::SpanClosed { .. } => "span_closed",
             Event::ServiceMetrics { .. } => "service_metrics",
+            Event::SchedulerHeartbeat { .. } => "scheduler_heartbeat",
             Event::TrialCompleted { .. } => "trial_completed",
             Event::ShardCompleted { .. } => "shard_completed",
             Event::CheckpointWritten { .. } => "checkpoint_written",
@@ -362,8 +405,17 @@ impl Event {
             }
             Event::JobCancelled { job }
             | Event::JobDeadlineExceeded { job }
-            | Event::JobResumed { job } => {
+            | Event::JobResumed { job }
+            | Event::JobPreempted { job } => {
                 let _ = write!(s, r#","job":{job}"#);
+            }
+            Event::JobPromoted { job, from, to } => {
+                let _ = write!(
+                    s,
+                    r#","job":{job},"from":"{}","to":"{}""#,
+                    escape_json(from),
+                    escape_json(to)
+                );
             }
             Event::JobCompleted { job, outcome } => {
                 let _ = write!(s, r#","job":{job},"outcome":"{}""#, escape_json(outcome));
@@ -389,6 +441,19 @@ impl Event {
                 let _ = write!(
                     s,
                     r#","queued":{queued},"running":{running},"completed":{completed},"failed":{failed},"cancelled":{cancelled},"deadline_exceeded":{deadline_exceeded}"#
+                );
+            }
+            Event::SchedulerHeartbeat {
+                high,
+                normal,
+                batch,
+                running,
+                executors,
+                pool_available,
+            } => {
+                let _ = write!(
+                    s,
+                    r#","high":{high},"normal":{normal},"batch":{batch},"running":{running},"executors":{executors},"pool_available":{pool_available}"#
                 );
             }
             Event::TrialCompleted { trial } => {
@@ -498,6 +563,8 @@ mod tests {
             Event::JobCancelled { job: 1 },
             Event::JobDeadlineExceeded { job: 1 },
             Event::JobResumed { job: 1 },
+            Event::JobPreempted { job: 1 },
+            Event::JobPromoted { job: 1, from: "batch".into(), to: "normal".into() },
             Event::JobCompleted { job: 1, outcome: "completed".into() },
             Event::SpanOpened { span: 7, parent: 0, name: "job".into(), index: 1 },
             Event::SpanClosed { span: 7, items: 8 },
@@ -514,6 +581,14 @@ mod tests {
                 failed: 0,
                 cancelled: 0,
                 deadline_exceeded: 0,
+            },
+            Event::SchedulerHeartbeat {
+                high: 0,
+                normal: 1,
+                batch: 2,
+                running: 1,
+                executors: 3,
+                pool_available: 4,
             },
         ];
         assert!(replayable.iter().all(Event::is_replayable));
@@ -587,6 +662,8 @@ mod tests {
             Event::JobCancelled { job: 0 },
             Event::JobDeadlineExceeded { job: 0 },
             Event::JobResumed { job: 0 },
+            Event::JobPreempted { job: 0 },
+            Event::JobPromoted { job: 0, from: "batch".into(), to: "normal".into() },
             Event::JobCompleted { job: 0, outcome: "failed".into() },
             Event::SpanOpened { span: 1, parent: 0, name: "job".into(), index: 1 },
             Event::SpanClosed { span: 1, items: 0 },
@@ -597,6 +674,14 @@ mod tests {
                 failed: 0,
                 cancelled: 0,
                 deadline_exceeded: 0,
+            },
+            Event::SchedulerHeartbeat {
+                high: 0,
+                normal: 0,
+                batch: 0,
+                running: 0,
+                executors: 1,
+                pool_available: 1,
             },
             Event::TrialCompleted { trial: 0 },
             Event::ShardCompleted { shard: 0, len: 1 },
